@@ -1,0 +1,51 @@
+//! The centralized oracle baseline.
+//!
+//! A trusted central server that sees every local trust score and runs
+//! Eq. 2 exactly — the upper bound on accuracy any distributed scheme can
+//! reach, and the ground truth for every error metric in the evaluation.
+
+use gossiptrust_core::matrix::TrustMatrix;
+use gossiptrust_core::params::Params;
+use gossiptrust_core::power_iter::{PowerIteration, SolveOutcome};
+use gossiptrust_core::power_nodes::Prior;
+
+/// The centralized reputation authority.
+#[derive(Clone, Debug)]
+pub struct CentralizedOracle {
+    solver: PowerIteration,
+}
+
+impl CentralizedOracle {
+    /// Oracle with the given parameters.
+    pub fn new(params: Params) -> Self {
+        CentralizedOracle { solver: PowerIteration::new(params) }
+    }
+
+    /// Compute the exact global reputation vector with a uniform prior.
+    pub fn compute(&self, matrix: &TrustMatrix) -> SolveOutcome {
+        self.solver.solve(matrix, &Prior::uniform(matrix.n()))
+    }
+
+    /// Compute with an explicit prior (e.g. power nodes).
+    pub fn compute_with_prior(&self, matrix: &TrustMatrix, prior: &Prior) -> SolveOutcome {
+        self.solver.solve(matrix, prior)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossiptrust_core::id::NodeId;
+    use gossiptrust_core::matrix::TrustMatrixBuilder;
+
+    #[test]
+    fn oracle_solves_exactly() {
+        let mut b = TrustMatrixBuilder::new(3);
+        b.record(NodeId(1), NodeId(0), 1.0);
+        b.record(NodeId(2), NodeId(0), 1.0);
+        b.record(NodeId(0), NodeId(1), 1.0);
+        let out = CentralizedOracle::new(Params::for_network(3)).compute(&b.build());
+        assert!(out.converged);
+        assert_eq!(out.vector.ranking()[0], NodeId(0));
+    }
+}

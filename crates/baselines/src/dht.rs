@@ -1,0 +1,229 @@
+//! A from-scratch Chord-like DHT (the structured-overlay substrate).
+//!
+//! Peers hash into a 64-bit identifier ring; every key is owned by its
+//! *successor* (the first peer clockwise from the key). Each peer keeps a
+//! finger table (`fingers[k]` = successor of `id + 2^k`) and lookups route
+//! greedily: forward to the closest preceding finger until the owner is
+//! reached — `O(log n)` hops with high probability.
+//!
+//! The table is built over a static membership snapshot, which is all the
+//! EigenTrust baseline needs; churn-maintenance (stabilization) is out of
+//! scope and documented as such.
+
+use gossiptrust_core::id::NodeId;
+
+/// Splitmix64 — a tiny, high-quality 64-bit mixer used as the consistent
+/// hash for ring positions and keys.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Result of a routed lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LookupOutcome {
+    /// The peer owning the key.
+    pub owner: NodeId,
+    /// Overlay hops taken to reach it.
+    pub hops: usize,
+}
+
+/// A Chord-like ring over a static set of peers.
+#[derive(Clone, Debug)]
+pub struct Chord {
+    /// (ring position, peer) sorted by position.
+    ring: Vec<(u64, NodeId)>,
+    /// Finger tables: `fingers[i][k]` = ring index of the successor of
+    /// `pos(i) + 2^k`.
+    fingers: Vec<Vec<usize>>,
+}
+
+impl Chord {
+    /// Number of finger levels (the full 64-bit ring).
+    pub const FINGER_BITS: usize = 64;
+
+    /// Build the ring and finger tables for `n` peers (ids `0..n`).
+    pub fn build(n: usize) -> Self {
+        assert!(n >= 1, "DHT needs at least one peer");
+        let mut ring: Vec<(u64, NodeId)> = (0..n)
+            .map(|i| (splitmix64(i as u64 ^ 0xD1B54A32D192ED03), NodeId::from_index(i)))
+            .collect();
+        ring.sort_unstable();
+        // Hash collisions over u64 are vanishingly unlikely but would break
+        // ownership; fail loudly.
+        for w in ring.windows(2) {
+            assert_ne!(w[0].0, w[1].0, "ring position collision");
+        }
+        let mut fingers = Vec::with_capacity(n);
+        for idx in 0..ring.len() {
+            let base = ring[idx].0;
+            let table: Vec<usize> = (0..Self::FINGER_BITS)
+                .map(|k| {
+                    let target = base.wrapping_add(1u64 << k);
+                    Self::successor_index(&ring, target)
+                })
+                .collect();
+            fingers.push(table);
+        }
+        Chord { ring, fingers }
+    }
+
+    /// Number of peers.
+    pub fn n(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Hash an application key (e.g. the peer whose score is managed).
+    pub fn key_for(&self, peer: NodeId) -> u64 {
+        splitmix64(peer.0 as u64 ^ 0xA24BAED4963EE407)
+    }
+
+    fn successor_index(ring: &[(u64, NodeId)], key: u64) -> usize {
+        match ring.binary_search_by(|&(pos, _)| pos.cmp(&key)) {
+            Ok(i) => i,
+            Err(i) => i % ring.len(),
+        }
+    }
+
+    /// The peer owning `key` (its successor on the ring).
+    pub fn owner_of(&self, key: u64) -> NodeId {
+        self.ring[Self::successor_index(&self.ring, key)].1
+    }
+
+    /// Ring distance from `from` clockwise to `to`.
+    fn clockwise(from: u64, to: u64) -> u64 {
+        to.wrapping_sub(from)
+    }
+
+    /// Route a lookup for `key` starting at peer `start`, counting hops.
+    ///
+    /// Each hop forwards to the closest finger that precedes the key
+    /// (classic Chord greedy routing); the hop count is what the EigenTrust
+    /// baseline charges per remote fetch.
+    pub fn lookup_from(&self, start: NodeId, key: u64) -> LookupOutcome {
+        let owner = self.owner_of(key);
+        // Find start's ring index.
+        let mut cur = self
+            .ring
+            .iter()
+            .position(|&(_, id)| id == start)
+            .expect("start peer must be on the ring");
+        let mut hops = 0;
+        let max_hops = 2 * Self::FINGER_BITS + self.n();
+        while self.ring[cur].1 != owner {
+            assert!(hops < max_hops, "routing loop detected");
+            let cur_pos = self.ring[cur].0;
+            let dist_to_key = Self::clockwise(cur_pos, key);
+            // Pick the finger that makes the most clockwise progress
+            // without overshooting the key.
+            let mut best: Option<(u64, usize)> = None;
+            for &fi in &self.fingers[cur] {
+                if fi == cur {
+                    continue;
+                }
+                let fpos = self.ring[fi].0;
+                let d = Self::clockwise(cur_pos, fpos);
+                if d > 0 && d < dist_to_key {
+                    match best {
+                        Some((bd, _)) if bd >= d => {}
+                        _ => best = Some((d, fi)),
+                    }
+                }
+            }
+            cur = match best {
+                Some((_, fi)) => fi,
+                // No finger precedes the key: the owner is our successor.
+                None => Self::successor_index(&self.ring, cur_pos.wrapping_add(1)),
+            };
+            hops += 1;
+        }
+        LookupOutcome { owner, hops }
+    }
+
+    /// Convenience: route from `start` to the manager of `peer`'s score.
+    pub fn lookup_manager(&self, start: NodeId, peer: NodeId) -> LookupOutcome {
+        self.lookup_from(start, self.key_for(peer))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_key_has_exactly_one_owner() {
+        let dht = Chord::build(32);
+        for k in 0..1000u64 {
+            let key = splitmix64(k);
+            let owner = dht.owner_of(key);
+            assert!(owner.index() < 32);
+        }
+    }
+
+    #[test]
+    fn lookup_reaches_the_owner_from_anywhere() {
+        let dht = Chord::build(50);
+        for start in 0..50 {
+            for peer in [0u32, 7, 23, 49] {
+                let key = dht.key_for(NodeId(peer));
+                let out = dht.lookup_from(NodeId(start), key);
+                assert_eq!(out.owner, dht.owner_of(key));
+            }
+        }
+    }
+
+    #[test]
+    fn hops_scale_logarithmically() {
+        let mean_hops = |n: usize| {
+            let dht = Chord::build(n);
+            let mut total = 0usize;
+            let mut count = 0usize;
+            for start in (0..n).step_by((n / 16).max(1)) {
+                for peer in (0..n).step_by((n / 16).max(1)) {
+                    total += dht
+                        .lookup_manager(NodeId::from_index(start), NodeId::from_index(peer))
+                        .hops;
+                    count += 1;
+                }
+            }
+            total as f64 / count as f64
+        };
+        let small = mean_hops(64);
+        let large = mean_hops(1024);
+        // O(log n): 16× more nodes ≈ +4 hops, definitely not 16×.
+        assert!(large < small * 3.0, "small {small}, large {large}");
+        assert!(large <= (1024f64).log2() * 1.5, "large {large}");
+    }
+
+    #[test]
+    fn single_peer_owns_everything() {
+        let dht = Chord::build(1);
+        let out = dht.lookup_from(NodeId(0), 12345);
+        assert_eq!(out.owner, NodeId(0));
+        assert_eq!(out.hops, 0);
+    }
+
+    #[test]
+    fn ownership_is_balanced_enough() {
+        let n = 128;
+        let dht = Chord::build(n);
+        let mut counts = vec![0usize; n];
+        for k in 0..20_000u64 {
+            counts[dht.owner_of(splitmix64(k ^ 0xABCDEF)).index()] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        // Consistent hashing without virtual nodes is skewed but no peer
+        // should own a massive constant fraction.
+        assert!(max < 20_000 / 8, "most-loaded peer owns {max} of 20000");
+    }
+
+    #[test]
+    fn lookup_from_owner_is_zero_hops() {
+        let dht = Chord::build(40);
+        let key = dht.key_for(NodeId(11));
+        let owner = dht.owner_of(key);
+        assert_eq!(dht.lookup_from(owner, key).hops, 0);
+    }
+}

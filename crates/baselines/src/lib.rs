@@ -1,0 +1,35 @@
+//! # gossiptrust-baselines
+//!
+//! The comparison systems the paper positions GossipTrust against:
+//!
+//! * [`dht`] — a from-scratch Chord-like distributed hash table: the
+//!   structured-overlay substrate that EigenTrust and PowerTrust assume
+//!   (consistent hashing, finger tables, `O(log n)` greedy lookup). Built
+//!   here because the whole point of GossipTrust is that unstructured
+//!   networks *don't have one*.
+//! * [`eigentrust`] — EigenTrust (Kamvar et al., WWW'03) simulated over the
+//!   DHT: per-peer *score managers* host each peer's global score, the
+//!   power iteration runs manager-side, and every remote fetch is routed
+//!   through the DHT so the message/hop overhead is measured faithfully.
+//! * [`powertrust`] — PowerTrust (the authors' own DHT-based predecessor):
+//!   bootstrap aggregation, power-node selection and the look-ahead random
+//!   walk, with the same routed message accounting.
+//! * [`notrust`] — the trivial no-reputation system (uniform scores,
+//!   random source selection) used as the Fig. 5 baseline.
+//! * [`centralized`] — the exact centralized oracle (re-exported from
+//!   `gossiptrust-core`) under its baseline name.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod centralized;
+pub mod dht;
+pub mod eigentrust;
+pub mod notrust;
+pub mod powertrust;
+
+pub use centralized::CentralizedOracle;
+pub use dht::{Chord, LookupOutcome};
+pub use eigentrust::{EigenTrust, EigenTrustReport};
+pub use notrust::NoTrust;
+pub use powertrust::{PowerTrust, PowerTrustReport};

@@ -1,0 +1,64 @@
+//! The NoTrust baseline: no reputation at all.
+//!
+//! "We also consider the case of a NoTrust system, which randomly selects a
+//! node to download the desired file without considering node reputation"
+//! (§6.4). As a reputation *system* it degenerates to the uniform vector
+//! that never updates; the random selection policy lives in
+//! `gossiptrust-filesharing`.
+
+use gossiptrust_core::id::NodeId;
+use gossiptrust_core::vector::ReputationVector;
+use rand::Rng;
+
+/// The no-reputation system.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoTrust;
+
+impl NoTrust {
+    /// Its "global reputation vector": always uniform.
+    pub fn vector(&self, n: usize) -> ReputationVector {
+        ReputationVector::uniform(n)
+    }
+
+    /// Its source selection: uniform among holders.
+    pub fn select<R: Rng + ?Sized>(&self, holders: &[NodeId], rng: &mut R) -> NodeId {
+        assert!(!holders.is_empty(), "selection needs at least one holder");
+        holders[rng.random_range(0..holders.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vector_is_uniform() {
+        let v = NoTrust.vector(5);
+        for i in 0..5 {
+            assert_eq!(v.score(NodeId(i)), 0.2);
+        }
+    }
+
+    #[test]
+    fn selection_is_uniform_over_holders() {
+        let holders = [NodeId(2), NodeId(4), NodeId(9)];
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..30_000 {
+            *counts.entry(NoTrust.select(&holders, &mut rng)).or_insert(0usize) += 1;
+        }
+        for id in holders {
+            let p = counts[&id] as f64 / 30_000.0;
+            assert!((p - 1.0 / 3.0).abs() < 0.02, "{id}: {p}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one holder")]
+    fn empty_holders_panics() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let _ = NoTrust.select(&[], &mut rng);
+    }
+}

@@ -1,0 +1,53 @@
+//! Property-based tests for the DHT substrate and baselines.
+
+use gossiptrust_baselines::{Chord, NoTrust};
+use gossiptrust_core::id::NodeId;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand::Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Chord routing from any start reaches the unique owner of any key,
+    /// within the O(log n) hop bound (with generous slack).
+    #[test]
+    fn chord_routing_correct_and_bounded(n in 1usize..400, seed in 0u64..500) {
+        let dht = Chord::build(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hop_cap = 2 * (n.max(2) as f64).log2().ceil() as usize + 4;
+        for _ in 0..30 {
+            let start = NodeId::from_index(rng.random_range(0..n));
+            let key: u64 = rng.random();
+            let out = dht.lookup_from(start, key);
+            prop_assert_eq!(out.owner, dht.owner_of(key), "wrong owner");
+            prop_assert!(out.hops <= hop_cap, "hops {} > cap {}", out.hops, hop_cap);
+        }
+    }
+
+    /// Ownership is a function: the same key always resolves to the same
+    /// owner, from any starting node.
+    #[test]
+    fn chord_ownership_is_start_independent(n in 2usize..200, key in any::<u64>()) {
+        let dht = Chord::build(n);
+        let owner = dht.owner_of(key);
+        for start in (0..n).step_by((n / 8).max(1)) {
+            prop_assert_eq!(dht.lookup_from(NodeId::from_index(start), key).owner, owner);
+        }
+    }
+
+    /// NoTrust selection always returns one of the offered holders.
+    #[test]
+    fn notrust_selects_within_holders(
+        holders in proptest::collection::vec(0u32..10_000, 1..50),
+        seed in 0u64..500,
+    ) {
+        let ids: Vec<NodeId> = holders.iter().map(|&h| NodeId(h)).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..20 {
+            let pick = NoTrust.select(&ids, &mut rng);
+            prop_assert!(ids.contains(&pick));
+        }
+    }
+}

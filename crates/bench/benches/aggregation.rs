@@ -1,0 +1,66 @@
+//! Vector gossip: one engine step and a full small aggregation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gossiptrust_core::prelude::*;
+use gossiptrust_gossip::cycle::{GossipTrustAggregator, PriorPolicy};
+use gossiptrust_gossip::engine::{EngineConfig, VectorGossipEngine};
+use gossiptrust_gossip::UniformChooser;
+use gossiptrust_workloads::population::ThreatConfig;
+use gossiptrust_workloads::scenario::{Scenario, ScenarioConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn matrix_for(n: usize) -> TrustMatrix {
+    let cfg = if n >= 500 {
+        ScenarioConfig::new(n, ThreatConfig::benign())
+    } else {
+        ScenarioConfig::small(n, ThreatConfig::benign())
+    };
+    Scenario::generate(&cfg, &mut StdRng::seed_from_u64(5)).honest
+}
+
+fn bench_engine_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vector_gossip_step");
+    group.sample_size(20);
+    for &n in &[100usize, 500, 1_000] {
+        let m = matrix_for(n);
+        // n² triplets move per step.
+        group.throughput(Throughput::Elements((n * n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let params = Params::for_network(n);
+            let mut engine = VectorGossipEngine::new(n, EngineConfig::from_params(&params, n));
+            engine.seed(&m, &ReputationVector::uniform(n), &Prior::uniform(n), 0.15);
+            let mut rng = StdRng::seed_from_u64(6);
+            b.iter(|| {
+                black_box(engine.step(&UniformChooser, &mut rng));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_aggregation");
+    group.sample_size(10);
+    for &n in &[100usize, 250] {
+        let m = matrix_for(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let agg = GossipTrustAggregator::new(Params::for_network(n))
+                .with_prior_policy(PriorPolicy::Fixed(Prior::uniform(n)));
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| black_box(agg.aggregate(&m, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group!(name = benches; config = short(); targets = bench_engine_step, bench_full_aggregation);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Bloom filter and rank-storage costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gossiptrust_core::vector::ReputationVector;
+use gossiptrust_storage::{BloomFilter, RankStorage, RankStorageConfig};
+use std::hint::black_box;
+
+fn bench_bloom_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bloom");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("insert", |b| {
+        let mut f = BloomFilter::with_rate(10_000, 0.01);
+        let mut key = 0u64;
+        b.iter(|| {
+            key = key.wrapping_add(1);
+            f.insert(black_box(key));
+        });
+    });
+    group.bench_function("contains_hit", |b| {
+        let mut f = BloomFilter::with_rate(10_000, 0.01);
+        for k in 0..10_000u64 {
+            f.insert(k);
+        }
+        let mut key = 0u64;
+        b.iter(|| {
+            key = (key + 1) % 10_000;
+            black_box(f.contains(black_box(key)))
+        });
+    });
+    group.bench_function("contains_miss", |b| {
+        let mut f = BloomFilter::with_rate(10_000, 0.01);
+        for k in 0..10_000u64 {
+            f.insert(k);
+        }
+        let mut key = 1_000_000u64;
+        b.iter(|| {
+            key += 1;
+            black_box(f.contains(black_box(key)))
+        });
+    });
+    group.finish();
+}
+
+fn bench_rank_storage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rank_storage_build");
+    group.sample_size(20);
+    for &n in &[1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let weights: Vec<f64> = (1..=n).map(|r| 1.0 / (r as f64).powf(1.2)).collect();
+            let v = ReputationVector::from_weights(weights).unwrap();
+            b.iter(|| black_box(RankStorage::build(&v, RankStorageConfig::default())));
+        });
+    }
+    group.finish();
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group!(name = benches; config = short(); targets = bench_bloom_ops, bench_rank_storage);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! SHA-256 / HMAC / envelope throughput (the per-push signing cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gossiptrust_crypto::{hmac_sha256, sha256, Pkg, SignedEnvelope};
+use std::hint::black_box;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for &len in &[64usize, 1_024, 16_384] {
+        let data = vec![0xABu8; len];
+        group.throughput(Throughput::Bytes(len as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| black_box(sha256(black_box(&data))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_hmac(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hmac_sha256");
+    // A push for n = 1000 carries ~16 KB.
+    for &len in &[256usize, 16_384] {
+        let data = vec![0x5Au8; len];
+        group.throughput(Throughput::Bytes(len as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| black_box(hmac_sha256(b"key", black_box(&data))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_envelope(c: &mut Criterion) {
+    let pkg = Pkg::from_seed(1);
+    let key = pkg.issue(7);
+    let verifier = pkg.verifier();
+    let payload = vec![0x11u8; 16_000];
+    let mut group = c.benchmark_group("envelope");
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+    group.bench_function("seal", |b| {
+        b.iter(|| black_box(key.seal(black_box(&payload))));
+    });
+    let env = key.seal(&payload);
+    let encoded = env.encode();
+    group.bench_function("decode_verify", |b| {
+        b.iter(|| {
+            let e = SignedEnvelope::decode(black_box(&encoded)).unwrap();
+            black_box(verifier.open(&e))
+        });
+    });
+    group.finish();
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group!(name = benches; config = short(); targets = bench_sha256, bench_hmac, bench_envelope);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Chord DHT routing cost (what every EigenTrust fetch pays).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gossiptrust_baselines::Chord;
+use gossiptrust_core::id::NodeId;
+use std::hint::black_box;
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chord_build");
+    group.sample_size(20);
+    for &n in &[1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(Chord::build(n)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chord_lookup");
+    group.throughput(Throughput::Elements(1));
+    for &n in &[1_000usize, 10_000] {
+        let dht = Chord::build(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut i = 0u32;
+            b.iter(|| {
+                i = (i + 1) % n as u32;
+                black_box(dht.lookup_manager(NodeId(i), NodeId(i.wrapping_mul(31) % n as u32)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group!(name = benches; config = short(); targets = bench_build, bench_lookup);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Sparse `Sᵀ·v`: the exact per-cycle aggregation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gossiptrust_core::prelude::*;
+use gossiptrust_workloads::population::ThreatConfig;
+use gossiptrust_workloads::scenario::{Scenario, ScenarioConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn matrix_for(n: usize) -> TrustMatrix {
+    let cfg = if n >= 500 {
+        ScenarioConfig::new(n, ThreatConfig::benign())
+    } else {
+        ScenarioConfig::small(n, ThreatConfig::benign())
+    };
+    Scenario::generate(&cfg, &mut StdRng::seed_from_u64(3)).honest
+}
+
+fn bench_transpose_mul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transpose_mul");
+    for &n in &[100usize, 1_000, 4_000] {
+        let m = matrix_for(n);
+        group.throughput(Throughput::Elements(m.nnz() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let v = ReputationVector::uniform(n);
+            let mut out = vec![0.0; n];
+            b.iter(|| {
+                m.transpose_mul(black_box(v.values()), &mut out).unwrap();
+                black_box(&out);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_power_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("power_iteration_solve");
+    group.sample_size(20);
+    for &n in &[500usize, 1_000] {
+        let m = matrix_for(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let solver = PowerIteration::new(Params::for_network(n));
+            let prior = Prior::uniform(n);
+            b.iter(|| black_box(solver.solve(&m, &prior)));
+        });
+    }
+    group.finish();
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group!(name = benches; config = short(); targets = bench_transpose_mul, bench_power_iteration);
+criterion_main!(benches);

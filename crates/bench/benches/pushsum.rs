@@ -1,0 +1,54 @@
+//! Scalar push-sum: cost of one synchronous gossip step vs network size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gossiptrust_gossip::{PushSumNetwork, UniformChooser};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_pushsum_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pushsum_step");
+    for &n in &[100usize, 1_000, 10_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let xs: Vec<f64> = (0..n).map(|i| (i % 17) as f64).collect();
+            let mut ws = vec![0.0; n];
+            ws[0] = 1.0;
+            let mut net = PushSumNetwork::from_pairs(xs, ws, 1e-9, 2);
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                black_box(net.step(&UniformChooser, &mut rng));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pushsum_converge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pushsum_converge");
+    group.sample_size(20);
+    for &n in &[100usize, 500] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let xs: Vec<f64> = (0..n).map(|i| (i % 13) as f64).collect();
+                let mut ws = vec![0.0; n];
+                ws[0] = 1.0;
+                let mut net = PushSumNetwork::from_pairs(xs, ws, 1e-6, 2);
+                let mut rng = StdRng::seed_from_u64(2);
+                let min = (n as f64).log2().ceil() as usize;
+                black_box(net.run(min, 10_000, &UniformChooser, &mut rng))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group!(name = benches; config = short(); targets = bench_pushsum_step, bench_pushsum_converge);
+criterion_main!(benches);

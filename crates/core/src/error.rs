@@ -1,0 +1,72 @@
+//! Error types for the core crate.
+
+use std::fmt;
+
+/// Errors produced by core reputation-math operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A vector or matrix dimension did not match the network size.
+    DimensionMismatch {
+        /// Expected dimension (network size `n`).
+        expected: usize,
+        /// Dimension actually supplied.
+        actual: usize,
+    },
+    /// A node id was out of range for the network size.
+    NodeOutOfRange {
+        /// Offending node index.
+        node: usize,
+        /// Network size `n`.
+        n: usize,
+    },
+    /// A probability/score was outside its valid domain.
+    InvalidScore {
+        /// Human-readable description of the violated constraint.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// An iterative computation failed to converge within its budget.
+    NoConvergence {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            CoreError::NodeOutOfRange { node, n } => {
+                write!(f, "node index {node} out of range for network of {n} nodes")
+            }
+            CoreError::InvalidScore { what, value } => {
+                write!(f, "invalid score: {what} (value {value})")
+            }
+            CoreError::NoConvergence { iterations } => {
+                write!(f, "no convergence after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CoreError::DimensionMismatch { expected: 10, actual: 3 };
+        assert!(e.to_string().contains("expected 10"));
+        let e = CoreError::NodeOutOfRange { node: 12, n: 10 };
+        assert!(e.to_string().contains("12"));
+        let e = CoreError::InvalidScore { what: "negative rating", value: -1.0 };
+        assert!(e.to_string().contains("negative rating"));
+        let e = CoreError::NoConvergence { iterations: 99 };
+        assert!(e.to_string().contains("99"));
+    }
+}

@@ -1,0 +1,76 @@
+//! # gossiptrust-core
+//!
+//! Core reputation types and mathematics for the GossipTrust reputation
+//! system (Zhou & Hwang, IPDPS 2007).
+//!
+//! This crate is the *pure-math substrate* shared by every other crate in the
+//! workspace. It contains no networking and no randomness of its own (all
+//! stochastic functions take a caller-supplied RNG), which keeps every
+//! simulation in the workspace deterministic and reproducible.
+//!
+//! The main pieces are:
+//!
+//! * [`NodeId`] — compact peer identifier.
+//! * [`LocalTrust`] — per-node accumulation of raw feedback scores `r_ij`
+//!   and their normalization into `s_ij` (Eq. 1 of the paper).
+//! * [`TrustMatrix`] — the sparse, row-stochastic normalized trust matrix
+//!   `S = (s_ij)`.
+//! * [`ReputationVector`] — the global reputation vector `V(t)` with the
+//!   distance/error metrics used throughout the evaluation (including the
+//!   RMS relative error of Eq. 8).
+//! * [`PowerIteration`] — the exact, centralized computation of
+//!   `V(t+1) = Sᵀ·V(t)` (Eq. 2) that serves as the ground-truth oracle for
+//!   every accuracy experiment.
+//! * [`PowerNodeSelector`] / [`Prior`] — dynamic power-node selection and the
+//!   greedy-factor `α` mixing borrowed from PowerTrust.
+//! * [`VectorConvergence`] / [`RatioTracker`] — the convergence detectors for
+//!   the outer aggregation loop (threshold `δ`) and the inner gossip loop
+//!   (threshold `ε`).
+//!
+//! # Quick example
+//!
+//! ```
+//! use gossiptrust_core::prelude::*;
+//!
+//! // Three peers; peer 0 rates peer 1 with 4 stars and peer 2 with 1 star...
+//! let mut builder = TrustMatrixBuilder::new(3);
+//! builder.record(NodeId(0), NodeId(1), 4.0);
+//! builder.record(NodeId(0), NodeId(2), 1.0);
+//! builder.record(NodeId(1), NodeId(0), 2.0);
+//! builder.record(NodeId(2), NodeId(0), 5.0);
+//! let matrix = builder.build();
+//!
+//! // Exact global reputation by power iteration (Eq. 2).
+//! let solver = PowerIteration::new(Params::default());
+//! let outcome = solver.solve(&matrix, &Prior::uniform(3));
+//! let v = outcome.vector;
+//! assert!((v.values().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+//! // Peer 0 receives all of peer 1's and peer 2's trust: it must rank first.
+//! assert_eq!(v.ranking()[0], NodeId(0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod convergence;
+pub mod error;
+pub mod id;
+pub mod local;
+pub mod matrix;
+pub mod metrics;
+pub mod params;
+pub mod power_iter;
+pub mod power_nodes;
+pub mod prelude;
+pub mod qof;
+pub mod vector;
+
+pub use convergence::{RatioTracker, VectorConvergence};
+pub use error::CoreError;
+pub use id::NodeId;
+pub use local::LocalTrust;
+pub use matrix::{TrustMatrix, TrustMatrixBuilder};
+pub use params::Params;
+pub use power_iter::{PowerIteration, SolveOutcome};
+pub use power_nodes::{PowerNodeSelector, Prior};
+pub use vector::ReputationVector;

@@ -1,0 +1,149 @@
+//! Free-standing error metrics and ranking-quality measures.
+//!
+//! The vector-to-vector metrics used by the paper live on
+//! [`crate::ReputationVector`]; this module adds slice-level variants (for
+//! raw gossip state that is not yet a normalized vector) and ranking-quality
+//! measures used by our ablation experiments.
+
+use crate::id::NodeId;
+
+/// RMS relative error of Eq. 8 over raw slices:
+/// `E = sqrt( Σ_i ((v_i − u_i)/v_i)² / n )`, skipping components with
+/// `v_i = 0`.
+///
+/// # Panics
+/// Panics if the slices differ in length or are empty.
+pub fn rms_relative_error(calculated: &[f64], gossiped: &[f64]) -> f64 {
+    assert_eq!(calculated.len(), gossiped.len(), "length mismatch");
+    assert!(!calculated.is_empty(), "empty input");
+    let n = calculated.len() as f64;
+    let sum: f64 = calculated
+        .iter()
+        .zip(gossiped)
+        .filter(|(&v, _)| v > 0.0)
+        .map(|(&v, &u)| {
+            let rel = (v - u) / v;
+            rel * rel
+        })
+        .sum();
+    (sum / n).sqrt()
+}
+
+/// Mean absolute error `Σ|v_i − u_i| / n` over raw slices.
+pub fn mean_abs_error(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    assert!(!a.is_empty(), "empty input");
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>() / a.len() as f64
+}
+
+/// Maximum relative error over defined components.
+pub fn max_relative_error(calculated: &[f64], estimated: &[f64]) -> f64 {
+    assert_eq!(calculated.len(), estimated.len(), "length mismatch");
+    calculated
+        .iter()
+        .zip(estimated)
+        .filter(|(&v, _)| v > 0.0)
+        .map(|(&v, &u)| ((v - u) / v).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Fraction of the top-`k` sets two rankings share (set overlap, order
+/// ignored). 1.0 means the rankings agree exactly on who the top-`k` are —
+/// the property that matters for power-node selection and download-source
+/// choice.
+///
+/// # Panics
+/// Panics if `k == 0` or `k` exceeds either ranking's length.
+pub fn top_k_overlap(a: &[NodeId], b: &[NodeId], k: usize) -> f64 {
+    assert!(k > 0, "k must be positive");
+    assert!(k <= a.len() && k <= b.len(), "k exceeds ranking length");
+    let set_a: std::collections::HashSet<NodeId> = a[..k].iter().copied().collect();
+    let hits = b[..k].iter().filter(|id| set_a.contains(id)).count();
+    hits as f64 / k as f64
+}
+
+/// Kendall-tau-style pairwise ranking agreement between two score slices:
+/// the fraction of node pairs ordered identically by both (ties counted as
+/// agreement when tied in both). 1.0 = identical order, 0.0 = exactly
+/// reversed. `O(n²)` — intended for evaluation, not hot paths.
+pub fn pairwise_order_agreement(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let n = a.len();
+    assert!(n >= 2, "need at least two nodes to compare order");
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            total += 1;
+            let oa = a[i].partial_cmp(&a[j]).expect("finite scores");
+            let ob = b[i].partial_cmp(&b[j]).expect("finite scores");
+            if oa == ob {
+                agree += 1;
+            }
+        }
+    }
+    agree as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rms_matches_hand_computation() {
+        // Same case as the vector test: v=(0.5,0.5), u=(0.4,0.6) → 0.2.
+        assert!((rms_relative_error(&[0.5, 0.5], &[0.4, 0.6]) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rms_skips_zero_truth_components() {
+        let e = rms_relative_error(&[0.0, 0.5], &[0.3, 0.5]);
+        assert_eq!(e, 0.0);
+    }
+
+    #[test]
+    fn mean_abs_error_basic() {
+        assert!((mean_abs_error(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(mean_abs_error(&[0.5], &[0.5]), 0.0);
+    }
+
+    #[test]
+    fn max_relative_error_basic() {
+        let e = max_relative_error(&[0.5, 0.25], &[0.5, 0.5]);
+        assert!((e - 1.0).abs() < 1e-12); // (0.25-0.5)/0.25 = -1
+    }
+
+    #[test]
+    fn top_k_overlap_full_and_partial() {
+        let a = [NodeId(0), NodeId(1), NodeId(2), NodeId(3)];
+        let b = [NodeId(1), NodeId(0), NodeId(3), NodeId(2)];
+        assert_eq!(top_k_overlap(&a, &b, 2), 1.0); // same set {0,1}
+        let c = [NodeId(2), NodeId(3), NodeId(0), NodeId(1)];
+        assert_eq!(top_k_overlap(&a, &c, 2), 0.0);
+        assert_eq!(top_k_overlap(&a, &c, 4), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k exceeds")]
+    fn top_k_overlap_rejects_big_k() {
+        top_k_overlap(&[NodeId(0)], &[NodeId(0)], 2);
+    }
+
+    #[test]
+    fn pairwise_agreement_identical_and_reversed() {
+        assert_eq!(pairwise_order_agreement(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]), 1.0);
+        assert_eq!(pairwise_order_agreement(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn pairwise_agreement_counts_matching_ties() {
+        assert_eq!(pairwise_order_agreement(&[1.0, 1.0], &[2.0, 2.0]), 1.0);
+        assert_eq!(pairwise_order_agreement(&[1.0, 1.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn metrics_check_lengths() {
+        mean_abs_error(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,189 @@
+//! System parameters mirroring Table 2 of the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// GossipTrust system parameters.
+///
+/// The default values reproduce Table 2 of the paper ("Parameters and Default
+/// Values used"):
+///
+/// | symbol   | meaning                              | default |
+/// |----------|--------------------------------------|---------|
+/// | `n`      | number of peers                      | 1000    |
+/// | `α`      | greedy factor                        | 0.15    |
+/// | `d_max`  | max. peer feedback amount            | 200     |
+/// | `d_avg`  | average peer feedback amount         | 20      |
+/// | `γ`      | percentage of malicious peers        | 0.20    |
+/// | `q`      | max. number of power nodes (1% of n) | 10      |
+/// | `δ`      | global aggregation threshold         | 10⁻³    |
+/// | `ε`      | gossip error threshold               | 10⁻⁴    |
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Params {
+    /// Number of peers `n` in the P2P network.
+    pub n: usize,
+    /// Greedy factor `α`: eagerness of a peer to work with power nodes.
+    /// `α = 0` disables power-node mixing entirely.
+    pub alpha: f64,
+    /// Maximum feedback out-degree `d_max` of any peer.
+    pub d_max: usize,
+    /// Average feedback out-degree `d_avg` across peers.
+    pub d_avg: usize,
+    /// Fraction `γ` of malicious peers in the network (0.0..=1.0).
+    pub malicious_fraction: f64,
+    /// Maximum number of power nodes `q` (the paper uses up to 1% of `n`).
+    pub max_power_nodes: usize,
+    /// Global aggregation (outer-loop) convergence threshold `δ`.
+    pub delta: f64,
+    /// Gossip (inner-loop) convergence threshold `ε`.
+    pub epsilon: f64,
+    /// Hard cap on aggregation cycles. The paper proves `d ≤ ⌈log_b δ⌉`; the
+    /// cap only guards against pathological (non-ergodic) inputs.
+    pub max_cycles: usize,
+    /// Hard cap on gossip steps within one cycle (`g = O(log₂ n)` expected).
+    pub max_gossip_steps: usize,
+    /// Number of consecutive below-`ε` steps the inner loop requires before
+    /// declaring convergence. The paper checks a single step; a small
+    /// patience makes the detector robust to transient plateaus while the
+    /// consensus factor `w` is still spreading.
+    pub gossip_patience: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            n: 1000,
+            alpha: 0.15,
+            d_max: 200,
+            d_avg: 20,
+            malicious_fraction: 0.20,
+            max_power_nodes: 10,
+            delta: 1e-3,
+            epsilon: 1e-4,
+            max_cycles: 200,
+            max_gossip_steps: 10_000,
+            gossip_patience: 2,
+        }
+    }
+}
+
+impl Params {
+    /// Parameters for a network of `n` peers, everything else at Table 2
+    /// defaults (with `q` scaled to 1% of `n`, minimum 1).
+    pub fn for_network(n: usize) -> Self {
+        Params {
+            n,
+            max_power_nodes: (n / 100).max(1),
+            ..Params::default()
+        }
+    }
+
+    /// Builder-style setter for the greedy factor `α`.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Builder-style setter for the gossip threshold `ε`.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Builder-style setter for the aggregation threshold `δ`.
+    pub fn with_delta(mut self, delta: f64) -> Self {
+        self.delta = delta;
+        self
+    }
+
+    /// Builder-style setter for the malicious fraction `γ`.
+    pub fn with_malicious_fraction(mut self, gamma: f64) -> Self {
+        self.malicious_fraction = gamma;
+        self
+    }
+
+    /// Validate parameter domains; returns a human-readable violation if any.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n == 0 {
+            return Err("n must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.alpha) {
+            return Err(format!("alpha must be in [0,1], got {}", self.alpha));
+        }
+        if !(0.0..=1.0).contains(&self.malicious_fraction) {
+            return Err(format!(
+                "malicious_fraction must be in [0,1], got {}",
+                self.malicious_fraction
+            ));
+        }
+        if self.d_avg > self.d_max {
+            return Err(format!(
+                "d_avg ({}) must not exceed d_max ({})",
+                self.d_avg, self.d_max
+            ));
+        }
+        if self.delta <= 0.0 || self.epsilon <= 0.0 {
+            return Err("delta and epsilon must be positive".into());
+        }
+        if self.gossip_patience == 0 {
+            return Err("gossip_patience must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Asserts that `Params::default()` mirrors Table 2 of the paper exactly.
+    #[test]
+    fn defaults_mirror_table_2() {
+        let p = Params::default();
+        assert_eq!(p.n, 1000);
+        assert_eq!(p.alpha, 0.15);
+        assert_eq!(p.d_max, 200);
+        assert_eq!(p.d_avg, 20);
+        assert_eq!(p.malicious_fraction, 0.20);
+        assert_eq!(p.max_power_nodes, 10); // 1% of 1000
+        assert_eq!(p.delta, 1e-3);
+        assert_eq!(p.epsilon, 1e-4);
+    }
+
+    #[test]
+    fn for_network_scales_power_nodes() {
+        assert_eq!(Params::for_network(500).max_power_nodes, 5);
+        assert_eq!(Params::for_network(50).max_power_nodes, 1);
+        assert_eq!(Params::for_network(10_000).max_power_nodes, 100);
+    }
+
+    #[test]
+    fn default_params_validate() {
+        assert!(Params::default().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_domains() {
+        assert!(Params { n: 0, ..Params::default() }.validate().is_err());
+        assert!(Params::default().with_alpha(1.5).validate().is_err());
+        assert!(Params::default().with_alpha(-0.1).validate().is_err());
+        assert!(Params::default().with_malicious_fraction(2.0).validate().is_err());
+        assert!(Params { d_avg: 300, ..Params::default() }.validate().is_err());
+        assert!(Params::default().with_delta(0.0).validate().is_err());
+        assert!(Params::default().with_epsilon(-1.0).validate().is_err());
+        assert!(Params { gossip_patience: 0, ..Params::default() }.validate().is_err());
+    }
+
+    #[test]
+    fn builder_setters_compose() {
+        let p = Params::for_network(200)
+            .with_alpha(0.3)
+            .with_epsilon(1e-5)
+            .with_delta(1e-4)
+            .with_malicious_fraction(0.1);
+        assert_eq!(p.n, 200);
+        assert_eq!(p.alpha, 0.3);
+        assert_eq!(p.epsilon, 1e-5);
+        assert_eq!(p.delta, 1e-4);
+        assert_eq!(p.malicious_fraction, 0.1);
+    }
+}

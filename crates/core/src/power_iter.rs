@@ -1,0 +1,284 @@
+//! Exact centralized power iteration (Eq. 2) — the ground-truth oracle.
+//!
+//! `V(t+1) = (1-α)·Sᵀ·V(t) + α·P` iterated until the average relative error
+//! between successive vectors drops below `δ`. This is what a trusted central
+//! authority *could* compute; every distributed result in the workspace is
+//! judged against it. The paper proves the cycle count is bounded by
+//! `d ≤ ⌈log_b δ⌉` with `b = λ₂/λ₁` ([`cycle_bound`]).
+
+use crate::error::CoreError;
+use crate::matrix::TrustMatrix;
+use crate::params::Params;
+use crate::power_nodes::Prior;
+use crate::vector::ReputationVector;
+
+/// Result of a power-iteration solve.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SolveOutcome {
+    /// The converged (or best-effort) global reputation vector.
+    pub vector: ReputationVector,
+    /// Number of aggregation cycles `d` actually performed.
+    pub cycles: usize,
+    /// Whether the `δ` test was met within the cycle budget.
+    pub converged: bool,
+    /// The final average relative error between the last two iterates.
+    pub residual: f64,
+    /// Residual history, one entry per cycle (useful for estimating the
+    /// convergence rate `b = λ₂/λ₁` empirically).
+    pub residual_history: Vec<f64>,
+}
+
+impl SolveOutcome {
+    /// Empirical estimate of the geometric convergence rate `b ≈ λ₂/λ₁`,
+    /// taken as the mean ratio of successive residuals over the final
+    /// cycles (ignoring the first cycle, which reflects the initial guess).
+    ///
+    /// Returns `None` when fewer than three cycles were run.
+    pub fn convergence_rate_estimate(&self) -> Option<f64> {
+        if self.residual_history.len() < 3 {
+            return None;
+        }
+        let h = &self.residual_history[1..];
+        let ratios: Vec<f64> = h
+            .windows(2)
+            .filter(|w| w[0] > 0.0 && w[1] > 0.0)
+            .map(|w| w[1] / w[0])
+            .collect();
+        if ratios.is_empty() {
+            return None;
+        }
+        Some(ratios.iter().sum::<f64>() / ratios.len() as f64)
+    }
+}
+
+/// Centralized iterative solver for the global reputation vector.
+#[derive(Clone, Debug)]
+pub struct PowerIteration {
+    params: Params,
+}
+
+impl PowerIteration {
+    /// Solver using `params.delta`, `params.alpha` and `params.max_cycles`.
+    pub fn new(params: Params) -> Self {
+        PowerIteration { params }
+    }
+
+    /// Access the solver parameters.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// Run Eq. 2 from `V(0) = uniform` until convergence.
+    ///
+    /// # Panics
+    /// Panics if the matrix size differs from the prior size.
+    pub fn solve(&self, matrix: &TrustMatrix, prior: &Prior) -> SolveOutcome {
+        self.solve_from(matrix, prior, &ReputationVector::uniform(matrix.n()))
+    }
+
+    /// Run Eq. 2 starting from a caller-supplied `V(0)` (used by reputation
+    /// *updating*, which warm-starts from the previous round's scores).
+    pub fn solve_from(
+        &self,
+        matrix: &TrustMatrix,
+        prior: &Prior,
+        start: &ReputationVector,
+    ) -> SolveOutcome {
+        assert_eq!(matrix.n(), prior.n(), "matrix and prior must agree on n");
+        assert_eq!(matrix.n(), start.n(), "matrix and start vector must agree on n");
+        let n = matrix.n();
+        let mut current = start.clone();
+        let mut next = vec![0.0; n];
+        let mut history = Vec::new();
+        for cycle in 1..=self.params.max_cycles {
+            matrix
+                .transpose_mul(current.values(), &mut next)
+                .expect("dimensions checked above");
+            prior.mix_into(&mut next, self.params.alpha);
+            let next_vec = ReputationVector::from_weights(next.clone())
+                .expect("stochastic product of non-negative inputs stays valid");
+            let residual = current
+                .avg_relative_error(&next_vec)
+                .expect("same dimension");
+            history.push(residual);
+            current = next_vec;
+            if residual < self.params.delta {
+                return SolveOutcome {
+                    vector: current,
+                    cycles: cycle,
+                    converged: true,
+                    residual,
+                    residual_history: history,
+                };
+            }
+        }
+        let residual = history.last().copied().unwrap_or(f64::INFINITY);
+        SolveOutcome {
+            vector: current,
+            cycles: self.params.max_cycles,
+            converged: false,
+            residual,
+            residual_history: history,
+        }
+    }
+
+    /// Fallible variant of [`solve`](Self::solve) that returns
+    /// [`CoreError::NoConvergence`] instead of a best-effort vector.
+    pub fn try_solve(&self, matrix: &TrustMatrix, prior: &Prior) -> Result<SolveOutcome, CoreError> {
+        let outcome = self.solve(matrix, prior);
+        if outcome.converged {
+            Ok(outcome)
+        } else {
+            Err(CoreError::NoConvergence { iterations: outcome.cycles })
+        }
+    }
+}
+
+/// The paper's cycle bound `d ≤ ⌈log_b δ⌉` for convergence rate
+/// `b = λ₂/λ₁ ∈ (0, 1)` and threshold `δ ∈ (0, 1)`.
+///
+/// Returns `None` for out-of-domain inputs.
+pub fn cycle_bound(delta: f64, b: f64) -> Option<usize> {
+    let in_domain = 0.0 < delta && delta < 1.0 && 0.0 < b && b < 1.0;
+    if !in_domain {
+        return None;
+    }
+    // log_b δ = ln δ / ln b; both logs are negative, so the ratio is positive.
+    Some((delta.ln() / b.ln()).ceil() as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::NodeId;
+    use crate::matrix::TrustMatrixBuilder;
+
+    fn ring_matrix(n: usize) -> TrustMatrix {
+        // i trusts only i+1 (mod n): the stationary vector is uniform.
+        let mut b = TrustMatrixBuilder::new(n);
+        for i in 0..n {
+            b.record(NodeId::from_index(i), NodeId::from_index((i + 1) % n), 1.0);
+        }
+        b.build()
+    }
+
+    fn star_matrix(n: usize) -> TrustMatrix {
+        // Everyone trusts node 0; node 0 trusts node 1.
+        let mut b = TrustMatrixBuilder::new(n);
+        for i in 1..n {
+            b.record(NodeId::from_index(i), NodeId(0), 1.0);
+        }
+        b.record(NodeId(0), NodeId(1), 1.0);
+        b.build()
+    }
+
+    #[test]
+    fn ring_converges_to_uniform() {
+        let m = ring_matrix(6);
+        let solver = PowerIteration::new(Params::for_network(6).with_alpha(0.0));
+        let out = solver.solve(&m, &Prior::uniform(6));
+        assert!(out.converged);
+        for &v in out.vector.values() {
+            assert!((v - 1.0 / 6.0).abs() < 1e-6, "got {v}");
+        }
+    }
+
+    #[test]
+    fn star_ranks_hub_first() {
+        let m = star_matrix(10);
+        let solver = PowerIteration::new(Params::for_network(10));
+        let out = solver.solve(&m, &Prior::uniform(10));
+        assert!(out.converged);
+        assert_eq!(out.vector.ranking()[0], NodeId(0));
+        assert_eq!(out.vector.ranking()[1], NodeId(1));
+    }
+
+    #[test]
+    fn solution_is_fixed_point() {
+        // Verify V* ≈ (1-α)·SᵀV* + α·P at convergence.
+        let m = star_matrix(8);
+        let params = Params::for_network(8).with_delta(1e-10);
+        let solver = PowerIteration::new(params.clone());
+        let prior = Prior::uniform(8);
+        let out = solver.solve(&m, &prior);
+        assert!(out.converged);
+        let mut next = vec![0.0; 8];
+        m.transpose_mul(out.vector.values(), &mut next).unwrap();
+        prior.mix_into(&mut next, params.alpha);
+        for (a, b) in out.vector.values().iter().zip(&next) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn warm_start_from_solution_converges_immediately() {
+        let m = star_matrix(8);
+        let solver = PowerIteration::new(Params::for_network(8).with_delta(1e-8));
+        let prior = Prior::uniform(8);
+        let cold = solver.solve(&m, &prior);
+        let warm = solver.solve_from(&m, &prior, &cold.vector);
+        assert!(warm.cycles <= 2, "warm start took {} cycles", warm.cycles);
+    }
+
+    #[test]
+    fn tighter_delta_takes_more_cycles() {
+        let m = star_matrix(30);
+        let loose = PowerIteration::new(Params::for_network(30).with_delta(1e-2)).solve(&m, &Prior::uniform(30));
+        let tight = PowerIteration::new(Params::for_network(30).with_delta(1e-8)).solve(&m, &Prior::uniform(30));
+        assert!(tight.cycles > loose.cycles);
+    }
+
+    #[test]
+    fn try_solve_reports_no_convergence() {
+        // The star matrix moves mass away from the uniform start, so a single
+        // cycle cannot satisfy a tight threshold.
+        let m = star_matrix(64);
+        let params = Params {
+            max_cycles: 1,
+            delta: 1e-12,
+            alpha: 0.0,
+            ..Params::for_network(64)
+        };
+        let err = PowerIteration::new(params).try_solve(&m, &Prior::uniform(64));
+        assert!(matches!(err, Err(CoreError::NoConvergence { iterations: 1 })));
+    }
+
+    #[test]
+    fn residual_history_is_decreasing_overall() {
+        let m = star_matrix(20);
+        let out = PowerIteration::new(Params::for_network(20).with_delta(1e-9)).solve(&m, &Prior::uniform(20));
+        let h = &out.residual_history;
+        assert!(h.len() >= 3);
+        assert!(h.last().unwrap() < h.first().unwrap());
+        let rate = out.convergence_rate_estimate().unwrap();
+        assert!(rate > 0.0 && rate < 1.0, "rate {rate}");
+    }
+
+    #[test]
+    fn cycle_bound_matches_formula() {
+        // log_0.5(1e-3) = ln(1e-3)/ln(0.5) ≈ 9.97 → 10
+        assert_eq!(cycle_bound(1e-3, 0.5), Some(10));
+        assert_eq!(cycle_bound(1e-3, 0.0), None);
+        assert_eq!(cycle_bound(0.0, 0.5), None);
+        assert_eq!(cycle_bound(1.5, 0.5), None);
+        assert_eq!(cycle_bound(1e-3, 1.0), None);
+    }
+
+    #[test]
+    fn empirical_cycles_respect_theoretical_bound() {
+        // With α-mixing the rate is at most (1-α); check d ≤ ⌈log_(1-α) δ⌉.
+        let m = star_matrix(50);
+        let params = Params::for_network(50).with_delta(1e-6);
+        let out = PowerIteration::new(params.clone()).solve(&m, &Prior::uniform(50));
+        assert!(out.converged);
+        let bound = cycle_bound(params.delta, 1.0 - params.alpha).unwrap();
+        // Allow slack of a couple cycles for the residual metric differing
+        // from the eigen-gap geometric model.
+        assert!(
+            out.cycles <= bound + 3,
+            "cycles {} exceeded bound {}",
+            out.cycles,
+            bound
+        );
+    }
+}

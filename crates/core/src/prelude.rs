@@ -1,0 +1,11 @@
+//! Convenience re-exports: `use gossiptrust_core::prelude::*;`.
+
+pub use crate::convergence::{RatioTracker, VectorConvergence};
+pub use crate::error::CoreError;
+pub use crate::id::NodeId;
+pub use crate::local::LocalTrust;
+pub use crate::matrix::{TrustMatrix, TrustMatrixBuilder};
+pub use crate::params::Params;
+pub use crate::power_iter::{cycle_bound, PowerIteration, SolveOutcome};
+pub use crate::power_nodes::{PowerNodeSelector, Prior};
+pub use crate::vector::ReputationVector;

@@ -1,0 +1,284 @@
+//! Quality-of-Feedback (QoF) scoring — the paper's §7 extension.
+//!
+//! "To probe further, we suggest to keep two kinds of reputation scores on
+//! each peer node: one to measure the quality-of-service (QoS) … and
+//! another for quality-of-feedback (QoF) by participating peers. We
+//! suggest integrating these two scores together…" (§7).
+//!
+//! The QoS score is the ordinary global reputation this workspace computes
+//! everywhere. The QoF score implemented here follows the
+//! PeerTrust-style *feedback credibility* idea: a rater whose normalized
+//! opinions systematically disagree with the (reputation-weighted)
+//! consensus about the peers it rated is probably lying, so its feedback
+//! should count for less.
+//!
+//! * [`feedback_credibility`] computes a QoF score in `[0, 1]` per rater.
+//! * [`discount_matrix`] folds QoF back into the trust matrix by shrinking
+//!   each rater's row toward the uninformative uniform row in proportion
+//!   to its distrust: `s'_ij = qof_i·s_ij + (1−qof_i)/n`. Rows stay
+//!   stochastic, so everything downstream (power iteration, gossip) works
+//!   unchanged.
+//! * [`combine_scores`] integrates QoS and QoF into a single ranking
+//!   signal with a tunable trade-off `θ` (the open question §7 poses).
+
+use crate::id::NodeId;
+use crate::local::LocalTrust;
+use crate::matrix::TrustMatrix;
+use crate::vector::ReputationVector;
+
+/// Per-rater Quality-of-Feedback scores in `[0, 1]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QofScores {
+    scores: Vec<f64>,
+}
+
+impl QofScores {
+    /// QoF score of rater `i`.
+    pub fn score(&self, i: NodeId) -> f64 {
+        self.scores[i.index()]
+    }
+
+    /// All scores, indexed by node.
+    pub fn values(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// Network size.
+    pub fn n(&self) -> usize {
+        self.scores.len()
+    }
+}
+
+/// Compute feedback credibility.
+///
+/// A rater's *opinion* about peer `j` is its degree-adjusted share
+/// `o_ij = s_ij · deg_i` — the ratio of the rating it gave `j` to its own
+/// average rating. (Raw normalized entries `s_ij` scale with `1/deg_i`,
+/// so comparing them across raters would punish prolific raters, not
+/// dishonest ones.) For every peer `j` the reputation-weighted consensus
+/// opinion is `c_j = Σ_i v_i·o_ij / Σ_i v_i`; a rater's *divergence* is
+/// the mean absolute difference between its opinions and the consensus,
+/// and its QoF score is `1 − divergence / max_divergence` (so the most
+/// discordant rater scores `floor`, agreeable raters score near 1).
+///
+/// Raters with no feedback (dangling rows) are assigned QoF 1: they
+/// express no opinion, so there is nothing to distrust.
+pub fn feedback_credibility(
+    matrix: &TrustMatrix,
+    reputation: &ReputationVector,
+    floor: f64,
+) -> QofScores {
+    assert_eq!(matrix.n(), reputation.n(), "matrix and reputation must agree on n");
+    assert!((0.0..1.0).contains(&floor), "floor must be in [0,1)");
+    let n = matrix.n();
+
+    // Consensus opinion per ratee, reputation-weighted over raters.
+    let mut consensus_num = vec![0.0; n];
+    let mut consensus_den = vec![0.0; n];
+    for i in 0..n {
+        let rater = NodeId::from_index(i);
+        if matrix.row_is_dangling(rater) {
+            continue;
+        }
+        let vi = reputation.score(rater).max(f64::MIN_POSITIVE);
+        let (cols, vals) = matrix.row(rater);
+        let deg = cols.len() as f64;
+        for (&j, &s) in cols.iter().zip(vals) {
+            consensus_num[j as usize] += vi * s * deg;
+            consensus_den[j as usize] += vi;
+        }
+    }
+    let consensus: Vec<f64> = consensus_num
+        .iter()
+        .zip(&consensus_den)
+        .map(|(&num, &den)| if den > 0.0 { num / den } else { 0.0 })
+        .collect();
+
+    // Per-rater divergence from consensus, in opinion space.
+    let mut divergence = vec![0.0; n];
+    for i in 0..n {
+        let rater = NodeId::from_index(i);
+        if matrix.row_is_dangling(rater) {
+            continue;
+        }
+        let (cols, vals) = matrix.row(rater);
+        let deg = cols.len() as f64;
+        let mut acc = 0.0;
+        for (&j, &s) in cols.iter().zip(vals) {
+            acc += (s * deg - consensus[j as usize]).abs();
+        }
+        divergence[i] = acc / deg;
+    }
+    let max_div = divergence.iter().copied().fold(0.0, f64::max);
+    let scores = divergence
+        .iter()
+        .map(|&d| {
+            if max_div > 0.0 {
+                (1.0 - d / max_div).max(floor)
+            } else {
+                1.0
+            }
+        })
+        .collect();
+    QofScores { scores }
+}
+
+/// Fold QoF scores into the trust matrix: each rater's row is blended
+/// toward the uniform (uninformative) row by its distrust,
+/// `s'_ij = qof_i·s_ij + (1 − qof_i)/n`. The result stays row-stochastic.
+pub fn discount_matrix(matrix: &TrustMatrix, qof: &QofScores) -> TrustMatrix {
+    assert_eq!(matrix.n(), qof.n(), "matrix and QoF must agree on n");
+    let n = matrix.n();
+    let mut rows = Vec::with_capacity(n);
+    for i in 0..n {
+        let rater = NodeId::from_index(i);
+        let mut row = LocalTrust::new();
+        if matrix.row_is_dangling(rater) {
+            rows.push(row); // stays uniform-implicit
+            continue;
+        }
+        let q = qof.score(rater);
+        let uniform_share = (1.0 - q) / n as f64;
+        let (cols, vals) = matrix.row(rater);
+        // Dense blend: existing entries get q·s + share, absent get share.
+        // (The blend necessarily densifies discounted rows; fully-credible
+        // rows (q = 1) stay sparse.)
+        if q >= 1.0 {
+            for (&c, &s) in cols.iter().zip(vals) {
+                row.add_feedback(NodeId(c), s);
+            }
+        } else {
+            let mut dense = vec![uniform_share; n];
+            for (&c, &s) in cols.iter().zip(vals) {
+                dense[c as usize] += q * s;
+            }
+            for (j, &s) in dense.iter().enumerate() {
+                if j != i {
+                    row.add_feedback(NodeId::from_index(j), s);
+                }
+            }
+        }
+        rows.push(row);
+    }
+    TrustMatrix::from_rows(&rows)
+}
+
+/// Integrate QoS and QoF into one ranking signal:
+/// `combined_i ∝ qos_i^θ · qof_i^(1−θ)`, normalized to sum 1.
+/// `θ = 1` is pure QoS (service quality), `θ = 0` pure QoF (honesty as a
+/// witness) — §7 leaves the trade-off open; the ablation sweeps it.
+pub fn combine_scores(qos: &ReputationVector, qof: &QofScores, theta: f64) -> ReputationVector {
+    assert_eq!(qos.n(), qof.n(), "QoS and QoF must agree on n");
+    assert!((0.0..=1.0).contains(&theta), "theta must be in [0,1]");
+    let weights: Vec<f64> = qos
+        .values()
+        .iter()
+        .zip(qof.values())
+        .map(|(&s, &f)| s.max(f64::MIN_POSITIVE).powf(theta) * f.max(f64::MIN_POSITIVE).powf(1.0 - theta))
+        .collect();
+    ReputationVector::from_weights(weights).expect("positive weights")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::TrustMatrixBuilder;
+
+    /// Three honest raters agree peer 0 is good and peer 3 is bad; one
+    /// dissenter claims the opposite. The dissenter must get the lowest
+    /// QoF score.
+    fn dissent_matrix() -> TrustMatrix {
+        let mut b = TrustMatrixBuilder::new(5);
+        for i in 1..4u32 {
+            b.record(NodeId(i), NodeId(0), 9.0);
+            b.record(NodeId(i), NodeId(4), 1.0);
+        }
+        // Node 4 (the dissenter) inverts the consensus.
+        b.record(NodeId(4), NodeId(0), 1.0);
+        b.record(NodeId(4), NodeId(3), 9.0);
+        b.build()
+    }
+
+    #[test]
+    fn dissenter_gets_lowest_qof() {
+        let m = dissent_matrix();
+        let v = ReputationVector::uniform(5);
+        let qof = feedback_credibility(&m, &v, 0.05);
+        let dissenter = qof.score(NodeId(4));
+        for i in 1..4u32 {
+            assert!(
+                qof.score(NodeId(i)) > dissenter,
+                "rater {i}: {} vs dissenter {dissenter}",
+                qof.score(NodeId(i))
+            );
+        }
+        assert!(dissenter >= 0.05, "floor respected");
+    }
+
+    #[test]
+    fn unanimous_raters_all_score_one() {
+        let mut b = TrustMatrixBuilder::new(4);
+        for i in 1..4u32 {
+            b.record(NodeId(i), NodeId(0), 1.0);
+        }
+        let m = b.build();
+        let qof = feedback_credibility(&m, &ReputationVector::uniform(4), 0.1);
+        for i in 1..4u32 {
+            assert!((qof.score(NodeId(i)) - 1.0).abs() < 1e-12);
+        }
+        // Node 0 issued nothing: QoF 1 by convention.
+        assert_eq!(qof.score(NodeId(0)), 1.0);
+    }
+
+    #[test]
+    fn discounted_matrix_stays_stochastic_and_demotes_dissent() {
+        let m = dissent_matrix();
+        let v = ReputationVector::uniform(5);
+        let qof = feedback_credibility(&m, &v, 0.05);
+        let discounted = discount_matrix(&m, &qof);
+        assert!(discounted.is_row_stochastic(1e-9));
+        // The dissenter's opinion about peer 3 is shrunk toward 1/n.
+        let before = m.entry(NodeId(4), NodeId(3));
+        let after = discounted.entry(NodeId(4), NodeId(3));
+        assert!(after < before, "{after} !< {before}");
+        // A credible rater's row is (nearly) untouched.
+        let q1 = qof.score(NodeId(1));
+        let drift = (discounted.entry(NodeId(1), NodeId(0)) - m.entry(NodeId(1), NodeId(0))).abs();
+        assert!(drift <= (1.0 - q1) + 1e-12);
+    }
+
+    #[test]
+    fn discount_with_full_credibility_is_identity() {
+        let mut b = TrustMatrixBuilder::new(3);
+        b.record(NodeId(0), NodeId(1), 1.0);
+        b.record(NodeId(1), NodeId(2), 1.0);
+        let m = b.build();
+        let qof = QofScores { scores: vec![1.0; 3] };
+        assert_eq!(discount_matrix(&m, &qof), m);
+    }
+
+    #[test]
+    fn combined_scores_interpolate() {
+        let qos = ReputationVector::from_weights(vec![0.7, 0.3]).unwrap();
+        let qof = QofScores { scores: vec![0.2, 1.0] };
+        // θ = 1: pure QoS order (node 0 first).
+        let pure_qos = combine_scores(&qos, &qof, 1.0);
+        assert_eq!(pure_qos.ranking()[0], NodeId(0));
+        // θ = 0: pure QoF order (node 1 first).
+        let pure_qof = combine_scores(&qos, &qof, 0.0);
+        assert_eq!(pure_qof.ranking()[0], NodeId(1));
+        // Everything stays normalized.
+        for theta in [0.0, 0.3, 0.5, 1.0] {
+            let c = combine_scores(&qos, &qof, theta);
+            assert!((c.values().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must be in")]
+    fn combine_rejects_bad_theta() {
+        let qos = ReputationVector::uniform(2);
+        let qof = QofScores { scores: vec![1.0, 1.0] };
+        let _ = combine_scores(&qos, &qof, 1.5);
+    }
+}

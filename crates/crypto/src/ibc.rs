@@ -1,0 +1,230 @@
+//! Identity-based signing simulation for gossip messages.
+//!
+//! Real identity-based cryptography (Boneh–Franklin-style) lets any party
+//! verify a signature using only the signer's *identity string* and global
+//! public parameters, with per-identity private keys issued by a Private
+//! Key Generator (PKG). We reproduce that **workflow** with symmetric
+//! primitives:
+//!
+//! * the [`Pkg`] holds a master secret and derives each node's
+//!   [`IdentityKey`] as `HMAC(master, identity)` — exactly the key-escrow
+//!   trust model of a real PKG;
+//! * nodes sign messages with `HMAC(identity_key, message)`;
+//! * verification goes through a [`Verifier`] capability derived from the
+//!   same master secret — the stand-in for IBC's public parameters. In a
+//!   deployment the verifier role is played by the math of pairings; here
+//!   it is a handle the simulation distributes to every node.
+//!
+//! The properties the GossipTrust protocol needs — tampered or spoofed
+//! gossip is rejected, keys are bound to node identities, no per-pair key
+//! exchange — all hold. What does *not* hold is public verifiability
+//! against a malicious verifier, which no experiment in the paper relies
+//! on. See DESIGN.md §5.
+
+use crate::hmac::{constant_time_eq, hmac_sha256};
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// The Private Key Generator.
+#[derive(Clone)]
+pub struct Pkg {
+    master: [u8; 32],
+}
+
+impl Pkg {
+    /// PKG with the given master secret (use a random one in practice).
+    pub fn new(master: [u8; 32]) -> Self {
+        Pkg { master }
+    }
+
+    /// Deterministic PKG for simulations, derived from a seed.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut master = [0u8; 32];
+        master[..8].copy_from_slice(&seed.to_le_bytes());
+        Pkg { master: hmac_sha256(b"gossiptrust-pkg-master", &master) }
+    }
+
+    /// Issue the private key for `identity`.
+    pub fn issue(&self, identity: u32) -> IdentityKey {
+        let key = hmac_sha256(&self.master, &identity.to_le_bytes());
+        IdentityKey { identity, key }
+    }
+
+    /// The verification capability (stands in for IBC public parameters).
+    pub fn verifier(&self) -> Verifier {
+        Verifier { master: self.master }
+    }
+}
+
+/// A node's identity-bound signing key.
+#[derive(Clone)]
+pub struct IdentityKey {
+    identity: u32,
+    key: [u8; 32],
+}
+
+impl IdentityKey {
+    /// The identity this key is bound to.
+    pub fn identity(&self) -> u32 {
+        self.identity
+    }
+
+    /// Sign `message`.
+    pub fn sign(&self, message: &[u8]) -> [u8; 32] {
+        hmac_sha256(&self.key, message)
+    }
+
+    /// Sign and wrap into a self-describing envelope.
+    pub fn seal(&self, payload: &[u8]) -> SignedEnvelope {
+        SignedEnvelope {
+            sender: self.identity,
+            payload: Bytes::copy_from_slice(payload),
+            tag: self.sign(payload),
+        }
+    }
+}
+
+/// The verification capability.
+#[derive(Clone)]
+pub struct Verifier {
+    master: [u8; 32],
+}
+
+impl Verifier {
+    /// Verify that `tag` signs `message` under `identity`'s key.
+    pub fn verify(&self, identity: u32, message: &[u8], tag: &[u8; 32]) -> bool {
+        let key = hmac_sha256(&self.master, &identity.to_le_bytes());
+        let expected = hmac_sha256(&key, message);
+        constant_time_eq(&expected, tag)
+    }
+
+    /// Verify a sealed envelope.
+    pub fn open(&self, envelope: &SignedEnvelope) -> Option<Bytes> {
+        if self.verify(envelope.sender, &envelope.payload, &envelope.tag) {
+            Some(envelope.payload.clone())
+        } else {
+            None
+        }
+    }
+}
+
+/// A signed gossip message: sender identity + payload + authentication tag.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SignedEnvelope {
+    /// Claimed sender identity.
+    pub sender: u32,
+    /// Opaque payload bytes.
+    pub payload: Bytes,
+    /// HMAC tag over the payload.
+    pub tag: [u8; 32],
+}
+
+impl SignedEnvelope {
+    /// Serialize: `sender (4) | payload_len (4) | payload | tag (32)`.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(8 + self.payload.len() + 32);
+        buf.put_u32_le(self.sender);
+        buf.put_u32_le(self.payload.len() as u32);
+        buf.put_slice(&self.payload);
+        buf.put_slice(&self.tag);
+        buf.freeze()
+    }
+
+    /// Parse an encoded envelope; `None` on malformed input.
+    pub fn decode(mut data: &[u8]) -> Option<SignedEnvelope> {
+        if data.len() < 8 {
+            return None;
+        }
+        let sender = u32::from_le_bytes(data[..4].try_into().ok()?);
+        let len = u32::from_le_bytes(data[4..8].try_into().ok()?) as usize;
+        data = &data[8..];
+        if data.len() != len + 32 {
+            return None;
+        }
+        let payload = Bytes::copy_from_slice(&data[..len]);
+        let tag: [u8; 32] = data[len..].try_into().ok()?;
+        Some(SignedEnvelope { sender, payload, tag })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let pkg = Pkg::from_seed(7);
+        let key = pkg.issue(42);
+        let verifier = pkg.verifier();
+        let tag = key.sign(b"reputation vector chunk");
+        assert!(verifier.verify(42, b"reputation vector chunk", &tag));
+    }
+
+    #[test]
+    fn tampered_message_is_rejected() {
+        let pkg = Pkg::from_seed(1);
+        let key = pkg.issue(3);
+        let verifier = pkg.verifier();
+        let tag = key.sign(b"x=0.5,w=0.25");
+        assert!(!verifier.verify(3, b"x=0.9,w=0.25", &tag));
+    }
+
+    #[test]
+    fn spoofed_sender_is_rejected() {
+        let pkg = Pkg::from_seed(2);
+        let mallory = pkg.issue(13);
+        let verifier = pkg.verifier();
+        let tag = mallory.sign(b"msg");
+        // Mallory claims to be node 7.
+        assert!(!verifier.verify(7, b"msg", &tag));
+    }
+
+    #[test]
+    fn keys_are_identity_bound_and_deterministic() {
+        let pkg = Pkg::from_seed(3);
+        let a1 = pkg.issue(5).sign(b"m");
+        let a2 = pkg.issue(5).sign(b"m");
+        let b = pkg.issue(6).sign(b"m");
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+    }
+
+    #[test]
+    fn different_pkgs_are_incompatible() {
+        let pkg1 = Pkg::from_seed(4);
+        let pkg2 = Pkg::from_seed(5);
+        let tag = pkg1.issue(1).sign(b"m");
+        assert!(!pkg2.verifier().verify(1, b"m", &tag));
+    }
+
+    #[test]
+    fn envelope_roundtrip() {
+        let pkg = Pkg::from_seed(6);
+        let key = pkg.issue(9);
+        let env = key.seal(b"halved gossip pair");
+        let encoded = env.encode();
+        let decoded = SignedEnvelope::decode(&encoded).unwrap();
+        assert_eq!(decoded, env);
+        assert_eq!(pkg.verifier().open(&decoded).unwrap(), Bytes::from_static(b"halved gossip pair"));
+    }
+
+    #[test]
+    fn envelope_tamper_detected_after_decode() {
+        let pkg = Pkg::from_seed(8);
+        let env = pkg.issue(2).seal(b"score update");
+        let mut raw = env.encode().to_vec();
+        raw[9] ^= 0x01; // flip a payload bit
+        let decoded = SignedEnvelope::decode(&raw).unwrap();
+        assert!(pkg.verifier().open(&decoded).is_none());
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        assert!(SignedEnvelope::decode(&[]).is_none());
+        assert!(SignedEnvelope::decode(&[1, 2, 3]).is_none());
+        // Length field inconsistent with the buffer.
+        let pkg = Pkg::from_seed(9);
+        let mut raw = pkg.issue(1).seal(b"abc").encode().to_vec();
+        raw.truncate(raw.len() - 1);
+        assert!(SignedEnvelope::decode(&raw).is_none());
+    }
+}

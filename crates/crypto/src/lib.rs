@@ -1,0 +1,35 @@
+//! # gossiptrust-crypto
+//!
+//! Message authentication for GossipTrust. The paper's conclusion names
+//! "secure communication with identity-based cryptography" as one of the
+//! system's three innovations (§7): every gossip message is signed under
+//! the sender's *identity*, so reputation data cannot be tampered with or
+//! spoofed in transit without any per-pair key exchange.
+//!
+//! Everything here is built from scratch (no crypto crates are available
+//! offline):
+//!
+//! * [`mod@sha256`] — FIPS 180-4 SHA-256, validated against the NIST vectors.
+//! * [`hmac`] — HMAC-SHA256 (RFC 2104), validated against RFC 4231.
+//! * [`ibc`] — an **identity-based signing simulation**: a Private Key
+//!   Generator (PKG) derives each node's signing key from a master secret
+//!   and the node identity, exactly like an IBC PKG does. Verification is
+//!   performed through a [`ibc::Verifier`] capability that stands in for
+//!   the public pairing parameters of a real IBE/IBS scheme. The
+//!   *semantics* the protocol relies on — only the key holder can produce
+//!   a valid tag, any bit flip is detected, keys are bound to identities —
+//!   are preserved; the pairing math is not reproduced (documented in
+//!   DESIGN.md's substitution table).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hmac;
+pub mod ibc;
+pub mod sha256;
+
+pub use hmac::hmac_sha256;
+pub use ibc::{IdentityKey, Pkg, SignedEnvelope, Verifier};
+#[doc(inline)]
+pub use sha256::sha256;
+pub use sha256::Sha256;

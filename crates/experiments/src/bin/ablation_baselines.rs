@@ -1,0 +1,21 @@
+//! Ablation: GossipTrust vs EigenTrust-over-DHT — accuracy and messages.
+
+use gossiptrust_experiments::ablations::eigentrust_vs_gossip;
+use gossiptrust_experiments::{Scale, TextTable};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Ablation — GossipTrust vs EigenTrust/DHT ({scale:?} scale)\n");
+    let rows = eigentrust_vs_gossip(scale);
+    let mut t = TextTable::new(vec!["system", "rms vs oracle", "cycles", "app messages", "network messages"]);
+    for r in &rows {
+        t.row(vec![
+            r.system.clone(),
+            format!("{:.2e}", r.rms_vs_oracle),
+            format!("{:.1}", r.cycles),
+            format!("{:.0}", r.messages),
+            format!("{:.0}", r.network_messages),
+        ]);
+    }
+    print!("{}", t.render());
+}

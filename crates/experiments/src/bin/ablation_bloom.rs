@@ -1,0 +1,20 @@
+//! Ablation: Bloom-filter rank storage — bytes vs rank error.
+
+use gossiptrust_experiments::ablations::bloom_storage;
+use gossiptrust_experiments::{Scale, TextTable};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Ablation — Bloom rank storage, n = {} ({scale:?} scale)\n", scale.n());
+    let rows = bloom_storage(scale);
+    let mut t = TextTable::new(vec!["fp rate", "bloom bytes", "exact bytes", "mean rank error"]);
+    for r in &rows {
+        t.row(vec![
+            format!("{:.4}", r.fp_rate),
+            r.bloom_bytes.to_string(),
+            r.exact_bytes.to_string(),
+            format!("{:.4}", r.mean_rank_error),
+        ]);
+    }
+    print!("{}", t.render());
+}

@@ -1,0 +1,19 @@
+//! Ablation: accuracy under peer churn (async sim).
+
+use gossiptrust_experiments::ablations::churn_resilience;
+use gossiptrust_experiments::{Scale, TextTable};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Ablation — churn resilience ({scale:?} scale)\n");
+    let rows = churn_resilience(scale);
+    let mut t = TextTable::new(vec!["availability", "mean rel error", "converged fraction"]);
+    for r in &rows {
+        t.row(vec![
+            format!("{:.3}", r.availability),
+            format!("{:.2e}", r.mean_rel_error),
+            format!("{:.2}", r.converged_fraction),
+        ]);
+    }
+    print!("{}", t.render());
+}

@@ -1,0 +1,20 @@
+//! Ablation: message-loss tolerance of the gossip engine.
+
+use gossiptrust_experiments::ablations::loss_tolerance;
+use gossiptrust_experiments::{Scale, TextTable};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Ablation — link-failure tolerance ({scale:?} scale)\n");
+    let rows = loss_tolerance(scale);
+    let mut t = TextTable::new(vec!["loss rate", "steps/cycle", "gossip error", "final rms error"]);
+    for r in &rows {
+        t.row(vec![
+            format!("{:.2}", r.loss_rate),
+            format!("{:.1}", r.steps),
+            format!("{:.2e}", r.gossip_error),
+            format!("{:.2e}", r.final_error),
+        ]);
+    }
+    print!("{}", t.render());
+}

@@ -1,0 +1,19 @@
+//! Ablation: convergence-detector patience vs steps and gossip error.
+
+use gossiptrust_experiments::ablations::patience;
+use gossiptrust_experiments::{Scale, TextTable};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Ablation — detector patience ({scale:?} scale)\n");
+    let rows = patience(scale);
+    let mut t = TextTable::new(vec!["patience", "steps/cycle", "gossip error"]);
+    for r in &rows {
+        t.row(vec![
+            r.patience.to_string(),
+            format!("{:.1}", r.steps),
+            format!("{:.2e}", r.gossip_error),
+        ]);
+    }
+    print!("{}", t.render());
+}

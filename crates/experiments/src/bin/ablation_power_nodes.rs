@@ -1,0 +1,19 @@
+//! Ablation: power-node budget q vs robustness at γ = 0.2.
+
+use gossiptrust_experiments::ablations::power_node_count;
+use gossiptrust_experiments::{Scale, TextTable};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Ablation — power-node count q (γ = 0.2 independent, α = 0.15, {scale:?} scale)\n");
+    let rows = power_node_count(scale);
+    let mut t = TextTable::new(vec!["q", "rms error", "std"]);
+    for r in &rows {
+        t.row(vec![
+            r.q.to_string(),
+            format!("{:.4}", r.rms_error),
+            format!("{:.4}", r.std_error),
+        ]);
+    }
+    print!("{}", t.render());
+}

@@ -1,0 +1,31 @@
+//! Ablation: §7's Quality-of-Feedback discounting.
+
+use gossiptrust_experiments::ablations::qof_discounting;
+use gossiptrust_experiments::{Scale, TextTable};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Ablation — QoF feedback-credibility discounting ({scale:?} scale)\n");
+    let rows = qof_discounting(scale);
+    let mut t = TextTable::new(vec![
+        "gamma",
+        "QoF",
+        "rms error",
+        "std",
+        "honest QoF",
+        "malicious QoF",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            format!("{:.0}%", r.gamma * 100.0),
+            if r.qof_enabled { "on" } else { "off" }.to_string(),
+            format!("{:.4}", r.rms_error),
+            format!("{:.4}", r.std_error),
+            format!("{:.3}", r.honest_qof),
+            format!("{:.3}", r.malicious_qof),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("\nexpected shape: malicious raters score lower QoF; discounting");
+    println!("their rows pulls the aggregate toward the honest ground truth.");
+}

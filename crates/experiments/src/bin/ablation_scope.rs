@@ -1,0 +1,19 @@
+//! Ablation: global vs neighbor-constrained gossip targets (async sim).
+
+use gossiptrust_experiments::ablations::gossip_scope;
+use gossiptrust_experiments::{Scale, TextTable};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Ablation — gossip target scope in the async simulator ({scale:?} scale)\n");
+    let rows = gossip_scope(scale);
+    let mut t = TextTable::new(vec!["scope", "virtual time (ms)", "mean rel error"]);
+    for r in &rows {
+        t.row(vec![
+            r.scope.clone(),
+            format!("{:.0}", r.virtual_time_us / 1000.0),
+            format!("{:.2e}", r.mean_rel_error),
+        ]);
+    }
+    print!("{}", t.render());
+}

@@ -1,0 +1,200 @@
+//! Run every table, figure and ablation in sequence (the full evaluation),
+//! in-process.
+//!
+//! `GT_QUICK=1 cargo run --release -p gossiptrust-experiments --bin all`
+//! for a fast smoke pass; the default paper scale takes minutes.
+
+use gossiptrust_experiments::{ablations, figures, Scale, TextTable};
+
+fn banner(name: &str) {
+    println!("\n=== {name} {}\n", "=".repeat(60_usize.saturating_sub(name.len())));
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("GossipTrust full evaluation at {scale:?} scale (GT_QUICK=1 for quick)");
+
+    banner("Table 1 (worked example)");
+    let (rows, consensus) = figures::table1();
+    let mut t = TextTable::new(vec!["step", "node", "x(k)", "w(k)", "beta"]);
+    for r in &rows {
+        t.row(vec![
+            r.step.to_string(),
+            r.node.clone(),
+            format!("{:.4}", r.x),
+            format!("{:.4}", r.w),
+            r.beta.map_or("inf".into(), |b| format!("{b:.4}")),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("consensus: {consensus:.6} (paper: 0.2)");
+
+    banner("Fig. 3 (gossip steps vs epsilon)");
+    let mut t = TextTable::new(vec!["n", "epsilon", "steps", "std"]);
+    for r in figures::fig3(scale) {
+        t.row(vec![
+            r.n.to_string(),
+            format!("{:.0e}", r.epsilon),
+            format!("{:.1}", r.mean_steps),
+            format!("{:.1}", r.std_steps),
+        ]);
+    }
+    print!("{}", t.render());
+
+    banner("Table 3 (errors under three settings)");
+    let mut t = TextTable::new(vec!["eps", "delta", "cycles", "steps", "gossip err", "agg err"]);
+    for r in figures::table3(scale) {
+        t.row(vec![
+            format!("{:.0e}", r.epsilon),
+            format!("{:.0e}", r.delta),
+            format!("{:.1}", r.cycles),
+            format!("{:.1}", r.gossip_steps),
+            format!("{:.2e}", r.gossip_error),
+            format!("{:.2e}", r.aggregation_error),
+        ]);
+    }
+    print!("{}", t.render());
+
+    banner("Fig. 4(a) (independent malicious, alpha sweep)");
+    let mut t = TextTable::new(vec!["alpha", "gamma", "rms", "std"]);
+    for r in figures::fig4a(scale) {
+        t.row(vec![
+            format!("{:.2}", r.alpha),
+            format!("{:.0}%", r.gamma * 100.0),
+            format!("{:.4}", r.rms_error),
+            format!("{:.4}", r.std_error),
+        ]);
+    }
+    print!("{}", t.render());
+
+    banner("Fig. 4(b) (collusion)");
+    let mut t = TextTable::new(vec!["alpha", "gamma", "group", "rms", "std"]);
+    for r in figures::fig4b(scale) {
+        t.row(vec![
+            format!("{:.2}", r.alpha),
+            format!("{:.0}%", r.gamma * 100.0),
+            r.group_size.to_string(),
+            format!("{:.4}", r.rms_error),
+            format!("{:.4}", r.std_error),
+        ]);
+    }
+    print!("{}", t.render());
+
+    banner("Fig. 5 (file-sharing success rate)");
+    let mut t = TextTable::new(vec!["system", "gamma", "overall", "steady", "std"]);
+    for r in figures::fig5(scale) {
+        t.row(vec![
+            r.system.clone(),
+            format!("{:.0}%", r.gamma * 100.0),
+            format!("{:.3}", r.success_rate),
+            format!("{:.3}", r.steady_rate),
+            format!("{:.3}", r.std_rate),
+        ]);
+    }
+    print!("{}", t.render());
+
+    banner("Ablation: EigenTrust vs GossipTrust");
+    let mut t = TextTable::new(vec!["system", "rms", "cycles", "app msgs", "net msgs"]);
+    for r in ablations::eigentrust_vs_gossip(scale) {
+        t.row(vec![
+            r.system.clone(),
+            format!("{:.2e}", r.rms_vs_oracle),
+            format!("{:.1}", r.cycles),
+            format!("{:.0}", r.messages),
+            format!("{:.0}", r.network_messages),
+        ]);
+    }
+    print!("{}", t.render());
+
+    banner("Ablation: Bloom storage");
+    let mut t = TextTable::new(vec!["fp", "bloom B", "exact B", "rank err"]);
+    for r in ablations::bloom_storage(scale) {
+        t.row(vec![
+            format!("{:.4}", r.fp_rate),
+            r.bloom_bytes.to_string(),
+            r.exact_bytes.to_string(),
+            format!("{:.4}", r.mean_rank_error),
+        ]);
+    }
+    print!("{}", t.render());
+
+    banner("Ablation: loss tolerance");
+    let mut t = TextTable::new(vec!["loss", "steps", "gossip err", "final rms"]);
+    for r in ablations::loss_tolerance(scale) {
+        t.row(vec![
+            format!("{:.2}", r.loss_rate),
+            format!("{:.1}", r.steps),
+            format!("{:.2e}", r.gossip_error),
+            format!("{:.2e}", r.final_error),
+        ]);
+    }
+    print!("{}", t.render());
+
+    banner("Ablation: power-node count");
+    let mut t = TextTable::new(vec!["q", "rms", "std"]);
+    for r in ablations::power_node_count(scale) {
+        t.row(vec![r.q.to_string(), format!("{:.4}", r.rms_error), format!("{:.4}", r.std_error)]);
+    }
+    print!("{}", t.render());
+
+    banner("Ablation: gossip scope");
+    let mut t = TextTable::new(vec!["scope", "virtual ms", "rel err"]);
+    for r in ablations::gossip_scope(scale) {
+        t.row(vec![
+            r.scope.clone(),
+            format!("{:.0}", r.virtual_time_us / 1000.0),
+            format!("{:.2e}", r.mean_rel_error),
+        ]);
+    }
+    print!("{}", t.render());
+
+    banner("Ablation: churn resilience");
+    let mut t = TextTable::new(vec!["availability", "rel err", "converged"]);
+    for r in ablations::churn_resilience(scale) {
+        t.row(vec![
+            format!("{:.3}", r.availability),
+            format!("{:.2e}", r.mean_rel_error),
+            format!("{:.2}", r.converged_fraction),
+        ]);
+    }
+    print!("{}", t.render());
+
+    banner("Ablation: detector patience");
+    let mut t = TextTable::new(vec!["patience", "steps", "gossip err"]);
+    for r in ablations::patience(scale) {
+        t.row(vec![
+            r.patience.to_string(),
+            format!("{:.1}", r.steps),
+            format!("{:.2e}", r.gossip_error),
+        ]);
+    }
+    print!("{}", t.render());
+
+    banner("Ablation: QoF discounting (§7 extension)");
+    let mut t = TextTable::new(vec!["gamma", "QoF", "rms", "std", "honest QoF", "malicious QoF"]);
+    for r in ablations::qof_discounting(scale) {
+        t.row(vec![
+            format!("{:.0}%", r.gamma * 100.0),
+            if r.qof_enabled { "on" } else { "off" }.to_string(),
+            format!("{:.4}", r.rms_error),
+            format!("{:.4}", r.std_error),
+            format!("{:.3}", r.honest_qof),
+            format!("{:.3}", r.malicious_qof),
+        ]);
+    }
+    print!("{}", t.render());
+
+    banner("Ablation: object reputation (§7 extension)");
+    let mut t = TextTable::new(vec!["gamma", "objects", "steady success", "std"]);
+    for r in ablations::object_reputation(scale) {
+        t.row(vec![
+            format!("{:.0}%", r.gamma * 100.0),
+            if r.objects_enabled { "on" } else { "off" }.to_string(),
+            format!("{:.3}", r.steady_rate),
+            format!("{:.3}", r.std_rate),
+        ]);
+    }
+    print!("{}", t.render());
+
+    println!("\nall experiments completed");
+}

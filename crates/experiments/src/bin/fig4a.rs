@@ -1,0 +1,26 @@
+//! Reproduce Fig. 4(a): RMS aggregation error vs percentage of independent
+//! malicious peers, for greedy factors α ∈ {0, 0.15, 0.3}.
+
+use gossiptrust_experiments::figures::fig4a;
+use gossiptrust_experiments::{Scale, TextTable};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!(
+        "Fig. 4(a) — RMS error (Eq. 8) vs %% independent malicious peers, n = {} ({scale:?} scale)\n",
+        scale.n()
+    );
+    let rows = fig4a(scale);
+    let mut t = TextTable::new(vec!["alpha", "gamma", "rms error", "std"]);
+    for r in &rows {
+        t.row(vec![
+            format!("{:.2}", r.alpha),
+            format!("{:.0}%", r.gamma * 100.0),
+            format!("{:.4}", r.rms_error),
+            format!("{:.4}", r.std_error),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("\nexpected shape: error grows with γ; α = 0.15 (power nodes) beats");
+    println!("α = 0 by ~20%; raising α to 0.3 does not improve on 0.15.");
+}

@@ -1,0 +1,27 @@
+//! Reproduce Fig. 4(b): RMS aggregation error under collusive malicious
+//! peers vs collusion group size, with and without power nodes.
+
+use gossiptrust_experiments::figures::fig4b;
+use gossiptrust_experiments::{Scale, TextTable};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!(
+        "Fig. 4(b) — RMS error (Eq. 8) under collusion, n = {} ({scale:?} scale)\n",
+        scale.n()
+    );
+    let rows = fig4b(scale);
+    let mut t = TextTable::new(vec!["alpha", "gamma", "group size", "rms error", "std"]);
+    for r in &rows {
+        t.row(vec![
+            format!("{:.2}", r.alpha),
+            format!("{:.0}%", r.gamma * 100.0),
+            r.group_size.to_string(),
+            format!("{:.4}", r.rms_error),
+            format!("{:.4}", r.std_error),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("\nexpected shape: error grows with group size and γ; the power-node");
+    println!("prior (α = 0.15) cuts the error (paper: ~30% less at size > 6, 5% peers).");
+}

@@ -1,0 +1,34 @@
+//! # gossiptrust-experiments
+//!
+//! The experiment harness that regenerates **every table and figure** of
+//! the paper's evaluation (§6), plus the ablations called out in
+//! DESIGN.md. Each experiment is a library function returning structured
+//! rows (so it is unit-testable at reduced scale) with a thin binary that
+//! prints the table:
+//!
+//! | paper artifact | binary |
+//! |----------------|--------|
+//! | Table 1 / Fig. 2 (worked example) | `table1` |
+//! | Fig. 3 (gossip steps vs ε, three network sizes) | `fig3` |
+//! | Table 3 (errors under three (ε, δ) settings) | `table3` |
+//! | Fig. 4(a) (RMS error vs % independent malicious, α sweep) | `fig4a` |
+//! | Fig. 4(b) (RMS error vs collusion group size) | `fig4b` |
+//! | Fig. 5 (query success rate, GossipTrust vs NoTrust) | `fig5` |
+//! | ablations (EigenTrust cost, Bloom storage, loss, power nodes, …) | `ablation_*` |
+//! | everything | `all` |
+//!
+//! Scale control: set `GT_QUICK=1` to run every experiment at reduced
+//! network size / seed count (used by CI); the default is the paper scale
+//! recorded in EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod figures;
+pub mod scale;
+pub mod stats;
+pub mod table;
+
+pub use scale::Scale;
+pub use table::TextTable;

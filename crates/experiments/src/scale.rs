@@ -1,0 +1,98 @@
+//! Experiment scale selection.
+
+/// How big to run the experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper scale: n up to 1000, ≥ 5 seeds. Minutes of wall time.
+    Paper,
+    /// Reduced scale for CI and smoke runs: small n, 2 seeds. Seconds.
+    Quick,
+}
+
+impl Scale {
+    /// Read the scale from the `GT_QUICK` environment variable.
+    pub fn from_env() -> Scale {
+        match std::env::var("GT_QUICK") {
+            Ok(v) if v == "1" || v.eq_ignore_ascii_case("true") => Scale::Quick,
+            _ => Scale::Paper,
+        }
+    }
+
+    /// Seeds to average over (the paper averages "at least 10 runs"; we
+    /// default to 5 at paper scale to keep the full harness in minutes and
+    /// record the choice in EXPERIMENTS.md). Override with `GT_SEEDS` for
+    /// constrained machines.
+    pub fn seeds(self) -> u64 {
+        if let Ok(v) = std::env::var("GT_SEEDS") {
+            if let Ok(s) = v.parse::<u64>() {
+                return s.max(1);
+            }
+        }
+        match self {
+            Scale::Paper => 5,
+            Scale::Quick => 2,
+        }
+    }
+
+    /// The headline network size (Table 2: 1000). Override with `GT_N`
+    /// for constrained machines (EXPERIMENTS.md records the value used
+    /// per table).
+    pub fn n(self) -> usize {
+        if let Ok(v) = std::env::var("GT_N") {
+            if let Ok(n) = v.parse::<usize>() {
+                return n.max(8);
+            }
+        }
+        match self {
+            Scale::Paper => 1000,
+            Scale::Quick => 120,
+        }
+    }
+
+    /// The three network sizes of Fig. 3.
+    pub fn fig3_sizes(self) -> [usize; 3] {
+        match self {
+            Scale::Paper => [250, 500, 1000],
+            Scale::Quick => [60, 90, 120],
+        }
+    }
+
+    /// Queries for the Fig. 5 file-sharing run.
+    pub fn fig5_queries(self) -> usize {
+        match self {
+            Scale::Paper => 6000,
+            Scale::Quick => 1200,
+        }
+    }
+
+    /// Reputation refresh interval for Fig. 5 (paper: 1000).
+    pub fn fig5_update_interval(self) -> usize {
+        match self {
+            Scale::Paper => 1000,
+            Scale::Quick => 300,
+        }
+    }
+
+    /// Catalog size for Fig. 5 (paper: > 100 000).
+    pub fn fig5_files(self) -> usize {
+        match self {
+            Scale::Paper => 100_000,
+            Scale::Quick => 800,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_is_smaller_than_paper() {
+        assert!(Scale::Quick.n() < Scale::Paper.n());
+        assert!(Scale::Quick.seeds() <= Scale::Paper.seeds());
+        assert!(Scale::Quick.fig5_queries() < Scale::Paper.fig5_queries());
+        for (q, p) in Scale::Quick.fig3_sizes().iter().zip(Scale::Paper.fig3_sizes()) {
+            assert!(q < &p);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Mean/stddev aggregation over seeds.
+
+/// Mean of a sample.
+pub fn mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "mean of empty sample");
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (0 for a single observation).
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// `mean ± stddev` of a sample, formatted for tables.
+pub fn mean_pm(xs: &[f64]) -> String {
+    format!("{:.4} ± {:.4}", mean(xs), stddev(xs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev_basic() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        // Sample stddev of this classic set is ~2.138.
+        assert!((stddev(&xs) - 2.1381).abs() < 1e-3);
+    }
+
+    #[test]
+    fn single_sample_has_zero_stddev() {
+        assert_eq!(stddev(&[3.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_mean_panics() {
+        mean(&[]);
+    }
+}

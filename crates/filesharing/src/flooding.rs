@@ -1,0 +1,161 @@
+//! Gnutella-style TTL flooding to locate file holders.
+//!
+//! "After a query for a file is issued and flooded over the entire P2P
+//! network, a list of nodes having this file is generated" (§6.4). We
+//! implement classic bounded flooding: the query fans out to all online
+//! neighbors, decrementing a TTL per hop; every visited holder responds.
+//! Message cost is one per traversed edge — the overhead the paper
+//! contrasts against TrustMe's broadcast storms.
+
+use gossiptrust_core::id::NodeId;
+use gossiptrust_simnet::topology::Overlay;
+use gossiptrust_workloads::files::FileCatalog;
+use std::collections::VecDeque;
+
+/// Result of flooding one query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FloodResult {
+    /// Online holders of the file discovered within the TTL.
+    pub holders: Vec<NodeId>,
+    /// Overlay nodes reached (including the requester).
+    pub nodes_reached: usize,
+    /// Query messages generated (one per traversed edge).
+    pub messages: u64,
+}
+
+/// Flood `file`'s query from `from` with time-to-live `ttl` hops.
+///
+/// Returns the online holders discovered, in ascending id order. A TTL of
+/// `usize::MAX` floods the entire connected component ("the entire P2P
+/// network").
+pub fn flood_search(
+    overlay: &Overlay,
+    catalog: &FileCatalog,
+    from: NodeId,
+    file: u32,
+    ttl: usize,
+) -> FloodResult {
+    let n = overlay.n();
+    let mut dist = vec![usize::MAX; n];
+    let mut messages = 0u64;
+    let mut reached = 0usize;
+    let mut holders = Vec::new();
+    if !overlay.is_online(from) {
+        return FloodResult { holders, nodes_reached: 0, messages };
+    }
+    dist[from.index()] = 0;
+    reached += 1;
+    if catalog.peer_has(from, file) {
+        holders.push(from);
+    }
+    let mut q = VecDeque::from([from]);
+    while let Some(u) = q.pop_front() {
+        let du = dist[u.index()];
+        if du >= ttl {
+            continue;
+        }
+        for v in overlay.online_neighbors(u) {
+            messages += 1;
+            if dist[v.index()] == usize::MAX {
+                dist[v.index()] = du + 1;
+                reached += 1;
+                if catalog.peer_has(v, file) {
+                    holders.push(v);
+                }
+                q.push_back(v);
+            }
+        }
+    }
+    holders.sort_unstable();
+    FloodResult { holders, nodes_reached: reached, messages }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossiptrust_workloads::saroiu::SaroiuFiles;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(n: usize, files: usize, seed: u64) -> (Overlay, FileCatalog) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let overlay = Overlay::random_k_out(n, 4, &mut rng);
+        let catalog = FileCatalog::generate(n, files, 1.2, &SaroiuFiles::default(), &mut rng);
+        (overlay, catalog)
+    }
+
+    #[test]
+    fn full_flood_finds_all_online_holders() {
+        let (overlay, catalog) = setup(60, 200, 1);
+        for file in [0u32, 5, 50, 199] {
+            let res = flood_search(&overlay, &catalog, NodeId(0), file, usize::MAX);
+            let expected: Vec<NodeId> = catalog.holders(file).iter().map(|&p| NodeId(p)).collect();
+            assert_eq!(res.holders, expected, "file {file}");
+            assert_eq!(res.nodes_reached, 60);
+        }
+    }
+
+    #[test]
+    fn ttl_zero_sees_only_the_requester() {
+        let (overlay, catalog) = setup(30, 100, 2);
+        let res = flood_search(&overlay, &catalog, NodeId(3), 0, 0);
+        assert_eq!(res.nodes_reached, 1);
+        assert_eq!(res.messages, 0);
+        let expects_self = catalog.peer_has(NodeId(3), 0);
+        assert_eq!(res.holders.contains(&NodeId(3)), expects_self);
+    }
+
+    #[test]
+    fn larger_ttl_reaches_no_fewer_holders() {
+        let (overlay, catalog) = setup(80, 300, 3);
+        let small = flood_search(&overlay, &catalog, NodeId(1), 0, 1);
+        let big = flood_search(&overlay, &catalog, NodeId(1), 0, 4);
+        assert!(big.holders.len() >= small.holders.len());
+        assert!(big.nodes_reached >= small.nodes_reached);
+        assert!(big.messages >= small.messages);
+        for h in &small.holders {
+            assert!(big.holders.contains(h));
+        }
+    }
+
+    #[test]
+    fn offline_holders_are_not_returned() {
+        let (mut overlay, catalog) = setup(40, 100, 4);
+        // Take all holders of an *unpopular* file offline (the rank-1 file
+        // is held by nearly everyone, which would empty the network).
+        let file = 99u32;
+        let holders: Vec<u32> = catalog.holders(file).to_vec();
+        assert!(holders.len() < 20, "tail file should have few holders");
+        for &h in &holders {
+            overlay.go_offline(NodeId(h));
+        }
+        // Pick an online requester.
+        let requester = (0..40u32)
+            .map(NodeId)
+            .find(|id| overlay.is_online(*id))
+            .unwrap();
+        let res = flood_search(&overlay, &catalog, requester, file, usize::MAX);
+        assert!(res.holders.is_empty());
+    }
+
+    #[test]
+    fn offline_requester_gets_nothing() {
+        let (mut overlay, catalog) = setup(20, 50, 5);
+        overlay.go_offline(NodeId(2));
+        let res = flood_search(&overlay, &catalog, NodeId(2), 0, usize::MAX);
+        assert!(res.holders.is_empty());
+        assert_eq!(res.nodes_reached, 0);
+    }
+
+    #[test]
+    fn message_count_equals_traversed_edges() {
+        // On a fully-flooded connected overlay every edge is traversed from
+        // the side that is dequeued first... messages equal the number of
+        // directed edge traversals from visited nodes within TTL, which for
+        // full flood equals Σ_v deg(v) = 2·|E|.
+        let (overlay, catalog) = setup(25, 50, 6);
+        let res = flood_search(&overlay, &catalog, NodeId(0), 0, usize::MAX);
+        let total_degree: u64 = (0..25).map(|i| overlay.degree(NodeId(i)) as u64).sum();
+        assert_eq!(res.messages, total_degree);
+    }
+}

@@ -1,0 +1,36 @@
+//! # gossiptrust-filesharing
+//!
+//! The simulated P2P file-sharing application of §6.4, used to measure the
+//! end-to-end benefit of reputation-based source selection (Fig. 5).
+//!
+//! The moving parts:
+//!
+//! * [`flooding`] — Gnutella-style TTL flooding over the unstructured
+//!   overlay to locate holders of a file (with message accounting).
+//! * [`selection`] — download-source selection: GossipTrust picks the
+//!   holder with the highest global reputation; NoTrust "randomly selects a
+//!   node to download the desired file without considering node
+//!   reputation".
+//! * [`session`] — the experiment driver: a stream of queries over the
+//!   catalog, downloads with authentic/inauthentic outcomes, feedback
+//!   according to each peer's threat-model kind, and a global reputation
+//!   refresh "after 1,000 queries" (configurable backend: the exact
+//!   centralized oracle or the full gossip aggregation).
+//!
+//! Success is counted per the paper: a query succeeds when the downloaded
+//! copy is authentic. Malicious peers both serve corrupted content and lie
+//! in their feedback, so the reputation system has to work against polluted
+//! input — exactly the Fig. 5 setting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flooding;
+pub mod objects;
+pub mod selection;
+pub mod session;
+
+pub use flooding::{flood_search, FloodResult};
+pub use objects::{ObjectRepConfig, ObjectReputation};
+pub use selection::SelectionPolicy;
+pub use session::{FileSharingSession, ReputationBackend, SessionConfig, SessionReport};

@@ -1,0 +1,169 @@
+//! Object (copy-level) reputation — the paper's §7 extension.
+//!
+//! "With the help of object reputation \[18\], a client can validate the
+//! authenticity of an object before initiating parallel file download from
+//! multiple peers." (§7, citing Walsh & Sirer's Credence.)
+//!
+//! Peer reputation rates *who serves*; object reputation rates *what was
+//! served*. We track votes per `(file, holder)` copy: after a download the
+//! requester votes authentic or fake for that specific copy, and future
+//! requesters skip copies whose vote history is bad. This complements peer
+//! scores with direct evidence — a mostly-honest peer hosting one corrupt
+//! copy gets that copy filtered without losing its peer-level standing.
+//!
+//! Votes are unweighted tallies; like any voting scheme this is gameable
+//! by coordinated dishonest voters, which the ablation measures (Credence
+//! weights votes by peer correlation to resist exactly that).
+
+use gossiptrust_core::id::NodeId;
+use std::collections::HashMap;
+
+/// Acceptance policy for copies.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ObjectRepConfig {
+    /// Minimum smoothed authenticity estimate to accept a copy.
+    pub threshold: f64,
+    /// Votes required before the filter applies at all (fresh copies are
+    /// always acceptable — someone has to try them).
+    pub min_votes: u32,
+}
+
+impl Default for ObjectRepConfig {
+    fn default() -> Self {
+        ObjectRepConfig { threshold: 0.4, min_votes: 2 }
+    }
+}
+
+/// Vote tallies per `(file, holder)` copy.
+#[derive(Clone, Debug, Default)]
+pub struct ObjectReputation {
+    votes: HashMap<(u32, u32), (u32, u32)>, // (file, holder) -> (authentic, total)
+}
+
+impl ObjectReputation {
+    /// Empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a vote for the copy of `file` held by `holder`.
+    pub fn record(&mut self, file: u32, holder: NodeId, authentic: bool) {
+        let entry = self.votes.entry((file, holder.0)).or_insert((0, 0));
+        if authentic {
+            entry.0 += 1;
+        }
+        entry.1 += 1;
+    }
+
+    /// Total votes recorded for a copy.
+    pub fn vote_count(&self, file: u32, holder: NodeId) -> u32 {
+        self.votes.get(&(file, holder.0)).map_or(0, |&(_, t)| t)
+    }
+
+    /// Laplace-smoothed authenticity estimate `(pos + 1)/(total + 2)`;
+    /// 0.5 for never-voted copies.
+    pub fn estimate(&self, file: u32, holder: NodeId) -> f64 {
+        let (pos, total) = self.votes.get(&(file, holder.0)).copied().unwrap_or((0, 0));
+        (pos as f64 + 1.0) / (total as f64 + 2.0)
+    }
+
+    /// Whether a copy passes the acceptance policy.
+    pub fn acceptable(&self, file: u32, holder: NodeId, config: &ObjectRepConfig) -> bool {
+        if self.vote_count(file, holder) < config.min_votes {
+            return true;
+        }
+        self.estimate(file, holder) >= config.threshold
+    }
+
+    /// Filter `holders` of `file` down to acceptable copies; falls back to
+    /// the full set when the filter would reject everything (downloading a
+    /// dubious copy beats downloading nothing).
+    pub fn filter_holders(
+        &self,
+        file: u32,
+        holders: &[NodeId],
+        config: &ObjectRepConfig,
+    ) -> Vec<NodeId> {
+        let acceptable: Vec<NodeId> = holders
+            .iter()
+            .copied()
+            .filter(|&h| self.acceptable(file, h, config))
+            .collect();
+        if acceptable.is_empty() {
+            holders.to_vec()
+        } else {
+            acceptable
+        }
+    }
+
+    /// Number of distinct copies with at least one vote.
+    pub fn tracked_copies(&self) -> usize {
+        self.votes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_copies_are_acceptable() {
+        let rep = ObjectReputation::new();
+        let cfg = ObjectRepConfig::default();
+        assert!(rep.acceptable(0, NodeId(1), &cfg));
+        assert_eq!(rep.estimate(0, NodeId(1)), 0.5);
+        assert_eq!(rep.vote_count(0, NodeId(1)), 0);
+    }
+
+    #[test]
+    fn bad_copies_get_filtered_after_enough_votes() {
+        let mut rep = ObjectReputation::new();
+        let cfg = ObjectRepConfig::default();
+        rep.record(7, NodeId(3), false);
+        assert!(rep.acceptable(7, NodeId(3), &cfg), "one vote is below min_votes");
+        rep.record(7, NodeId(3), false);
+        assert!(!rep.acceptable(7, NodeId(3), &cfg), "estimate {} should fail", rep.estimate(7, NodeId(3)));
+    }
+
+    #[test]
+    fn good_copies_stay_acceptable() {
+        let mut rep = ObjectReputation::new();
+        let cfg = ObjectRepConfig::default();
+        for _ in 0..5 {
+            rep.record(1, NodeId(2), true);
+        }
+        assert!(rep.acceptable(1, NodeId(2), &cfg));
+        assert!(rep.estimate(1, NodeId(2)) > 0.8);
+    }
+
+    #[test]
+    fn votes_are_per_copy_not_per_file_or_peer() {
+        let mut rep = ObjectReputation::new();
+        rep.record(1, NodeId(2), false);
+        rep.record(1, NodeId(2), false);
+        let cfg = ObjectRepConfig::default();
+        // Same file, different holder: unaffected.
+        assert!(rep.acceptable(1, NodeId(3), &cfg));
+        // Same holder, different file: unaffected.
+        assert!(rep.acceptable(2, NodeId(2), &cfg));
+        assert!(!rep.acceptable(1, NodeId(2), &cfg));
+        assert_eq!(rep.tracked_copies(), 1);
+    }
+
+    #[test]
+    fn filter_falls_back_when_everything_is_rejected() {
+        let mut rep = ObjectReputation::new();
+        let cfg = ObjectRepConfig::default();
+        for h in [1u32, 2] {
+            rep.record(0, NodeId(h), false);
+            rep.record(0, NodeId(h), false);
+        }
+        let holders = vec![NodeId(1), NodeId(2)];
+        let filtered = rep.filter_holders(0, &holders, &cfg);
+        assert_eq!(filtered, holders, "must not filter down to nothing");
+        // With one good alternative, the bad copies are dropped.
+        let holders = vec![NodeId(1), NodeId(2), NodeId(9)];
+        let filtered = rep.filter_holders(0, &holders, &cfg);
+        assert_eq!(filtered, vec![NodeId(9)]);
+    }
+}

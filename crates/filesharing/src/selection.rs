@@ -1,0 +1,119 @@
+//! Download-source selection policies.
+
+use gossiptrust_core::id::NodeId;
+use gossiptrust_core::vector::ReputationVector;
+use rand::Rng;
+
+/// How a requester picks a download source among discovered holders.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SelectionPolicy {
+    /// GossipTrust: "the one with the highest global score is selected to
+    /// download the file". Ties (e.g. the uniform initial vector) are
+    /// broken uniformly at random so the cold-start behaves like NoTrust
+    /// rather than biasing toward low node ids.
+    HighestReputation,
+    /// NoTrust: "randomly selects a node to download the desired file
+    /// without considering node reputation".
+    Random,
+}
+
+impl SelectionPolicy {
+    /// Select a source among `holders` (must be non-empty), never the
+    /// requester itself if any alternative exists.
+    pub fn select<R: Rng + ?Sized>(
+        &self,
+        holders: &[NodeId],
+        requester: NodeId,
+        reputation: &ReputationVector,
+        rng: &mut R,
+    ) -> NodeId {
+        assert!(!holders.is_empty(), "selection needs at least one holder");
+        let candidates: Vec<NodeId> = {
+            let others: Vec<NodeId> = holders.iter().copied().filter(|&h| h != requester).collect();
+            if others.is_empty() {
+                holders.to_vec()
+            } else {
+                others
+            }
+        };
+        match self {
+            SelectionPolicy::Random => candidates[rng.random_range(0..candidates.len())],
+            SelectionPolicy::HighestReputation => {
+                let best = candidates
+                    .iter()
+                    .map(|&h| reputation.score(h))
+                    .fold(f64::NEG_INFINITY, f64::max);
+                let top: Vec<NodeId> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&h| reputation.score(h) >= best)
+                    .collect();
+                top[rng.random_range(0..top.len())]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rep(scores: Vec<f64>) -> ReputationVector {
+        ReputationVector::from_weights(scores).unwrap()
+    }
+
+    #[test]
+    fn highest_reputation_picks_the_top_holder() {
+        let v = rep(vec![0.1, 0.5, 0.2, 0.2]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let holders = [NodeId(0), NodeId(1), NodeId(2)];
+        for _ in 0..20 {
+            let pick = SelectionPolicy::HighestReputation.select(&holders, NodeId(3), &v, &mut rng);
+            assert_eq!(pick, NodeId(1));
+        }
+    }
+
+    #[test]
+    fn ties_are_broken_randomly() {
+        let v = rep(vec![0.25; 4]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let holders = [NodeId(0), NodeId(1), NodeId(2)];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(SelectionPolicy::HighestReputation.select(&holders, NodeId(3), &v, &mut rng));
+        }
+        assert_eq!(seen.len(), 3, "cold-start ties must spread selections");
+    }
+
+    #[test]
+    fn random_policy_covers_all_holders() {
+        let v = rep(vec![0.9, 0.05, 0.05]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let holders = [NodeId(0), NodeId(1), NodeId(2)];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..300 {
+            seen.insert(SelectionPolicy::Random.select(&holders, NodeId(1), &v, &mut rng));
+        }
+        // Requester N1 is excluded because alternatives exist.
+        assert!(seen.contains(&NodeId(0)) && seen.contains(&NodeId(2)));
+        assert!(!seen.contains(&NodeId(1)));
+    }
+
+    #[test]
+    fn requester_allowed_when_sole_holder() {
+        let v = rep(vec![0.5, 0.5]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let pick = SelectionPolicy::Random.select(&[NodeId(0)], NodeId(0), &v, &mut rng);
+        assert_eq!(pick, NodeId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one holder")]
+    fn empty_holders_panics() {
+        let v = rep(vec![1.0]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = SelectionPolicy::Random.select(&[], NodeId(0), &v, &mut rng);
+    }
+}

@@ -1,0 +1,139 @@
+//! Gossip-target selection strategies.
+//!
+//! Algorithm 1/2 say "choose a random node q". In an unstructured overlay
+//! the paper allows `q` to be "a neighbor node or any other node"; the
+//! default [`UniformChooser`] samples uniformly from the whole id space
+//! excluding the sender (Kempe-style uniform gossip). [`ScriptedChooser`]
+//! replays a fixed target schedule — used to reproduce the worked example of
+//! Fig. 2 / Table 1 exactly.
+
+use rand::Rng;
+
+/// Picks, for a sending node, the gossip target of the current step.
+pub trait TargetChooser {
+    /// Target for `sender` at gossip step `step` in an `n`-node network.
+    ///
+    /// Must return a valid id in `0..n`. Returning `sender` itself is
+    /// allowed (the send then degenerates to a no-op merge-back), but the
+    /// stock choosers avoid it.
+    fn choose<R: Rng + ?Sized>(&self, sender: usize, step: usize, n: usize, rng: &mut R) -> usize;
+}
+
+/// Uniform gossip: target drawn uniformly from all nodes except the sender.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UniformChooser;
+
+impl TargetChooser for UniformChooser {
+    fn choose<R: Rng + ?Sized>(&self, sender: usize, _step: usize, n: usize, rng: &mut R) -> usize {
+        debug_assert!(n >= 2, "uniform chooser needs at least two nodes");
+        // Sample from n-1 candidates and skip over the sender.
+        let raw = rng.random_range(0..n - 1);
+        if raw >= sender {
+            raw + 1
+        } else {
+            raw
+        }
+    }
+}
+
+/// Replays a fixed schedule: `targets[step][sender]`.
+///
+/// Steps beyond the schedule fall back to uniform sampling so a scripted
+/// prefix can be followed by random convergence.
+#[derive(Clone, Debug)]
+pub struct ScriptedChooser {
+    targets: Vec<Vec<usize>>,
+}
+
+impl ScriptedChooser {
+    /// Create from a per-step, per-sender target table.
+    pub fn new(targets: Vec<Vec<usize>>) -> Self {
+        ScriptedChooser { targets }
+    }
+
+    /// Number of scripted steps.
+    pub fn scripted_steps(&self) -> usize {
+        self.targets.len()
+    }
+}
+
+impl TargetChooser for ScriptedChooser {
+    fn choose<R: Rng + ?Sized>(&self, sender: usize, step: usize, n: usize, rng: &mut R) -> usize {
+        match self.targets.get(step) {
+            Some(row) => {
+                let t = row[sender];
+                assert!(t < n, "scripted target {t} out of range (n={n})");
+                t
+            }
+            None => UniformChooser.choose(sender, step, n, rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_never_picks_sender() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for sender in 0..5 {
+            for _ in 0..200 {
+                let t = UniformChooser.choose(sender, 0, 5, &mut rng);
+                assert!(t < 5);
+                assert_ne!(t, sender);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_covers_all_other_nodes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 6];
+        for _ in 0..500 {
+            seen[UniformChooser.choose(3, 0, 6, &mut rng)] = true;
+        }
+        for (i, &s) in seen.iter().enumerate() {
+            assert_eq!(s, i != 3, "node {i}");
+        }
+    }
+
+    #[test]
+    fn uniform_is_roughly_unbiased() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 4;
+        let trials = 30_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..trials {
+            counts[UniformChooser.choose(0, 0, n, &mut rng)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        for &c in &counts[1..] {
+            let p = c as f64 / trials as f64;
+            assert!((p - 1.0 / 3.0).abs() < 0.02, "p={p}");
+        }
+    }
+
+    #[test]
+    fn scripted_replays_then_falls_back() {
+        let chooser = ScriptedChooser::new(vec![vec![2, 0, 0]]);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(chooser.choose(0, 0, 3, &mut rng), 2);
+        assert_eq!(chooser.choose(1, 0, 3, &mut rng), 0);
+        assert_eq!(chooser.choose(2, 0, 3, &mut rng), 0);
+        // Step 1 is unscripted → any valid non-self target.
+        let t = chooser.choose(0, 1, 3, &mut rng);
+        assert!(t == 1 || t == 2);
+        assert_eq!(chooser.scripted_steps(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn scripted_rejects_bad_target() {
+        let chooser = ScriptedChooser::new(vec![vec![9, 0, 0]]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = chooser.choose(0, 0, 3, &mut rng);
+    }
+}

@@ -1,0 +1,897 @@
+//! Algorithm 2 (inner loop) — the vectorized gossip engine.
+//!
+//! Runs `n` push-sum instances concurrently: node `i`'s state is the pair of
+//! length-`n` arrays `x_i[·]`, `w_i[·]` — the paper's reputation vector of
+//! triplets `⟨x_j, j, w_j⟩` in struct-of-arrays form. One [`VectorGossipEngine::step`]
+//! models a gossip step: every alive node keeps half of its vector and
+//! pushes the other half to a random node; all pushes of a step are merged
+//! synchronously.
+//!
+//! The engine supports fault injection (message loss, dead nodes) used by
+//! the robustness experiments, and full instrumentation.
+//!
+//! ## Convergence detection
+//!
+//! Node `i` considers itself converged when
+//!
+//! 1. every component's consensus factor `w_j > 0` (otherwise the estimate
+//!    is the paper's `∞` case),
+//! 2. the maximum *relative* change of its estimates since the previous
+//!    step is ≤ ε, for `patience` consecutive steps, and
+//! 3. at least `min_steps` (default `⌈log₂ n⌉`) steps have elapsed, since
+//!    push-sum needs that long for weights to spread at all.
+//!
+//! The relative (rather than absolute) change matches §3's accuracy goal —
+//! "the estimated score `v` within `[(1−ε)v, (1+ε)v]`" — and keeps the
+//! detector scale-free as `n` grows (global scores shrink like `1/n`).
+
+use crate::chooser::TargetChooser;
+use crate::stats::GossipStats;
+use gossiptrust_core::id::NodeId;
+use gossiptrust_core::matrix::TrustMatrix;
+use gossiptrust_core::params::Params;
+use gossiptrust_core::power_nodes::Prior;
+use gossiptrust_core::vector::ReputationVector;
+use rand::Rng;
+
+/// Tuning knobs of the vector gossip engine.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EngineConfig {
+    /// Gossip error threshold `ε`.
+    pub epsilon: f64,
+    /// Consecutive below-`ε` steps required (≥ 1).
+    pub patience: usize,
+    /// Minimum steps before convergence may be declared.
+    pub min_steps: usize,
+    /// Hard step budget for one aggregation cycle.
+    pub max_steps: usize,
+    /// Probability that a pushed message is lost in transit.
+    pub loss_rate: f64,
+    /// How many leading steps of each cycle gossip disturbers forge in
+    /// (see [`VectorGossipEngine::set_corruption`]). Push-sum has no
+    /// damping, so an attacker forging *every* step inflates without
+    /// bound and the cycle never converges; a bounded window leaves a
+    /// fixed phantom bias the consensus settles on.
+    pub corruption_steps: usize,
+}
+
+impl EngineConfig {
+    /// Derive from [`Params`] for an `n`-node network
+    /// (`min_steps = ⌈log₂ n⌉`).
+    pub fn from_params(params: &Params, n: usize) -> Self {
+        EngineConfig {
+            epsilon: params.epsilon,
+            patience: params.gossip_patience,
+            min_steps: (n.max(2) as f64).log2().ceil() as usize,
+            max_steps: params.max_gossip_steps,
+            loss_rate: 0.0,
+            corruption_steps: 3,
+        }
+    }
+
+    /// Builder-style setter for the message loss rate.
+    pub fn with_loss_rate(mut self, loss_rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&loss_rate), "loss rate must be in [0,1]");
+        self.loss_rate = loss_rate;
+        self
+    }
+}
+
+/// Outcome of a single gossip step.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StepOutcome {
+    /// True when every alive node's detector has fired (and `min_steps`
+    /// elapsed).
+    pub all_converged: bool,
+    /// Maximum relative estimate change observed across alive nodes in this
+    /// step (`f64::INFINITY` while any estimate is still undefined).
+    pub max_change: f64,
+}
+
+/// The synchronous-round vector gossip engine.
+#[derive(Clone, Debug)]
+pub struct VectorGossipEngine {
+    n: usize,
+    config: EngineConfig,
+    // Current state, per node: x[i], w[i] are length-n arrays.
+    xs: Vec<Vec<f64>>,
+    ws: Vec<Vec<f64>>,
+    // Double buffers for the synchronous merge.
+    next_xs: Vec<Vec<f64>>,
+    next_ws: Vec<Vec<f64>>,
+    // Convergence tracking.
+    prev_beta: Vec<Vec<f64>>, // NaN = undefined
+    streaks: Vec<usize>,
+    alive: Vec<bool>,
+    // Gossip disturbance: per-node list of components whose pushed x the
+    // node inflates, and the inflation factor (None = honest sender).
+    corruption: Vec<Option<(Vec<u32>, f64)>>,
+    stats: GossipStats,
+    step_idx: usize,
+}
+
+impl VectorGossipEngine {
+    /// Engine with all state zeroed; call [`seed`](Self::seed) before
+    /// stepping.
+    pub fn new(n: usize, config: EngineConfig) -> Self {
+        assert!(n >= 2, "gossip needs at least two nodes");
+        assert!(config.patience >= 1, "patience must be >= 1");
+        VectorGossipEngine {
+            n,
+            config,
+            xs: vec![vec![0.0; n]; n],
+            ws: vec![vec![0.0; n]; n],
+            next_xs: vec![vec![0.0; n]; n],
+            next_ws: vec![vec![0.0; n]; n],
+            prev_beta: vec![vec![f64::NAN; n]; n],
+            streaks: vec![0; n],
+            alive: vec![true; n],
+            corruption: vec![None; n],
+            stats: GossipStats::default(),
+            step_idx: 0,
+        }
+    }
+
+    /// Make `node` a *gossip disturber*: every pair it pushes has the `x`
+    /// values of `targets` multiplied by `factor` (> 1 injects phantom
+    /// reputation mass for those components — the "disturbance by
+    /// malicious peers" the paper's robustness experiments measure; the
+    /// node's own retained half stays honest, so the corruption is pure
+    /// message forgery). `factor = 1` or an empty target list restores
+    /// honesty.
+    pub fn set_corruption(&mut self, node: NodeId, targets: Vec<u32>, factor: f64) {
+        assert!(factor >= 0.0, "factor must be non-negative");
+        assert!(
+            targets.iter().all(|&t| (t as usize) < self.n),
+            "corruption target out of range"
+        );
+        if targets.is_empty() || factor == 1.0 {
+            self.corruption[node.index()] = None;
+        } else {
+            self.corruption[node.index()] = Some((targets, factor));
+        }
+    }
+
+    /// Seed a new aggregation cycle per Algorithm 2, lines 5–11, with the
+    /// greedy-factor mixing folded into the weighted scores:
+    ///
+    /// ```text
+    /// x_i[j] ← v_i(t−1) · [ (1−α)·s_ij + α·p_j ]
+    /// w_i[j] ← 1  iff  j == i
+    /// ```
+    ///
+    /// Summed over `i` this yields `(1−α)(Sᵀ·V)_j + α·p_j` because
+    /// `Σ_i v_i = 1`, i.e. exactly one centralized iteration of Eq. 2.
+    pub fn seed(&mut self, matrix: &TrustMatrix, v_prev: &ReputationVector, prior: &Prior, alpha: f64) {
+        assert_eq!(matrix.n(), self.n, "matrix size mismatch");
+        assert_eq!(v_prev.n(), self.n, "vector size mismatch");
+        assert_eq!(prior.n(), self.n, "prior size mismatch");
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]");
+        let p = prior.to_dense();
+        for i in 0..self.n {
+            let id = NodeId::from_index(i);
+            let vi = v_prev.score(id);
+            let xi = &mut self.xs[i];
+            // α-jump share, spread per the prior.
+            for (x, &pj) in xi.iter_mut().zip(&p) {
+                *x = vi * alpha * pj;
+            }
+            // (1−α) share along the trust row.
+            if matrix.row_is_dangling(id) {
+                let share = vi * (1.0 - alpha) / self.n as f64;
+                for x in xi.iter_mut() {
+                    *x += share;
+                }
+            } else {
+                let (cols, vals) = matrix.row(id);
+                for (&c, &s) in cols.iter().zip(vals) {
+                    xi[c as usize] += vi * (1.0 - alpha) * s;
+                }
+            }
+            let wi = &mut self.ws[i];
+            wi.fill(0.0);
+            wi[i] = 1.0;
+            self.prev_beta[i].fill(f64::NAN);
+            self.streaks[i] = 0;
+        }
+        self.step_idx = 0;
+    }
+
+    /// Network size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Instrumentation counters.
+    pub fn stats(&self) -> GossipStats {
+        self.stats
+    }
+
+    /// Mark a node dead: it stops sending and receiving; pushes addressed to
+    /// it are lost. Its state is frozen (the mass it holds leaves the
+    /// computation — exactly what a crash does to push-sum).
+    pub fn kill(&mut self, node: NodeId) {
+        self.alive[node.index()] = false;
+    }
+
+    /// Revive a node (it re-enters gossip with its frozen state).
+    pub fn revive(&mut self, node: NodeId) {
+        self.alive[node.index()] = true;
+    }
+
+    /// Whether `node` is alive.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.alive[node.index()]
+    }
+
+    /// Total `(Σx[j], Σw[j])` over all nodes for component `j` — conserved
+    /// while no messages are lost and no nodes die.
+    pub fn component_mass(&self, j: NodeId) -> (f64, f64) {
+        let mut x = 0.0;
+        let mut w = 0.0;
+        for i in 0..self.n {
+            x += self.xs[i][j.index()];
+            w += self.ws[i][j.index()];
+        }
+        (x, w)
+    }
+
+    /// Node `i`'s current estimate of the full score vector:
+    /// `β_j = x_j/w_j`, with 0 where `w_j = 0` (no information yet).
+    pub fn extract(&self, i: NodeId) -> Vec<f64> {
+        self.xs[i.index()]
+            .iter()
+            .zip(&self.ws[i.index()])
+            .map(|(&x, &w)| if w > 0.0 { x / w } else { 0.0 })
+            .collect()
+    }
+
+    /// The mean of all alive nodes' estimates — the lowest-variance readout
+    /// of the consensus, used by the cycle driver.
+    pub fn mean_estimate(&self) -> Vec<f64> {
+        let mut acc = vec![0.0; self.n];
+        let mut count = 0usize;
+        for i in 0..self.n {
+            if !self.alive[i] {
+                continue;
+            }
+            count += 1;
+            for (a, (&x, &w)) in acc.iter_mut().zip(self.xs[i].iter().zip(&self.ws[i])) {
+                if w > 0.0 {
+                    *a += x / w;
+                }
+            }
+        }
+        assert!(count > 0, "no alive nodes");
+        for a in acc.iter_mut() {
+            *a /= count as f64;
+        }
+        acc
+    }
+
+    /// Maximum over components of (max−min) spread of estimates across
+    /// alive nodes — a global consensus-quality oracle used in tests.
+    pub fn consensus_spread(&self) -> f64 {
+        let mut worst: f64 = 0.0;
+        for j in 0..self.n {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for i in 0..self.n {
+                if !self.alive[i] {
+                    continue;
+                }
+                let w = self.ws[i][j];
+                let b = if w > 0.0 { self.xs[i][j] / w } else { return f64::INFINITY };
+                lo = lo.min(b);
+                hi = hi.max(b);
+            }
+            worst = worst.max(hi - lo);
+        }
+        worst
+    }
+
+    /// Execute one synchronous gossip step.
+    pub fn step<C: TargetChooser, R: Rng + ?Sized>(&mut self, chooser: &C, rng: &mut R) -> StepOutcome {
+        let n = self.n;
+        // Phase 1: retained halves into the double buffer.
+        for i in 0..n {
+            if self.alive[i] {
+                for (nx, &x) in self.next_xs[i].iter_mut().zip(&self.xs[i]) {
+                    *nx = 0.5 * x;
+                }
+                for (nw, &w) in self.next_ws[i].iter_mut().zip(&self.ws[i]) {
+                    *nw = 0.5 * w;
+                }
+            } else {
+                // Frozen state carries over unchanged.
+                self.next_xs[i].copy_from_slice(&self.xs[i]);
+                self.next_ws[i].copy_from_slice(&self.ws[i]);
+            }
+        }
+        // Phase 2: pushes, reading the immutable pre-step state.
+        for i in 0..n {
+            if !self.alive[i] {
+                continue;
+            }
+            let t = chooser.choose(i, self.step_idx, n, rng);
+            self.stats.messages_sent += 1;
+            self.stats.triplets_sent += n as u64;
+            let lost = !self.alive[t]
+                || (self.config.loss_rate > 0.0 && rng.random::<f64>() < self.config.loss_rate);
+            if lost {
+                self.stats.messages_dropped += 1;
+                continue;
+            }
+            // Deliver the sender's pushed half (= half of its pre-step state).
+            let (src_x, src_w) = (&self.xs[i], &self.ws[i]);
+            let dst_x = &mut self.next_xs[t];
+            let dst_w = &mut self.next_ws[t];
+            for (d, &s) in dst_x.iter_mut().zip(src_x) {
+                *d += 0.5 * s;
+            }
+            for (d, &s) in dst_w.iter_mut().zip(src_w) {
+                *d += 0.5 * s;
+            }
+            // Gossip disturbance: the forged extra mass on top of the
+            // honest half (the receiver cannot tell — only signatures on
+            // *values* could, and push-sum values are sender-claimed).
+            // Forging is confined to the first `corruption_steps` of the
+            // cycle (see `EngineConfig::corruption_steps`).
+            if self.step_idx < self.config.corruption_steps {
+                if let Some((targets, factor)) = &self.corruption[i] {
+                    for &j in targets {
+                        dst_x[j as usize] += 0.5 * src_x[j as usize] * (factor - 1.0);
+                    }
+                }
+            }
+        }
+        std::mem::swap(&mut self.xs, &mut self.next_xs);
+        std::mem::swap(&mut self.ws, &mut self.next_ws);
+        self.step_idx += 1;
+        self.stats.steps += 1;
+
+        // Phase 3: convergence bookkeeping.
+        let mut max_change: f64 = 0.0;
+        let mut all = true;
+        for i in 0..n {
+            if !self.alive[i] {
+                continue;
+            }
+            let mut node_change: f64 = 0.0;
+            let mut defined = true;
+            for j in 0..n {
+                let w = self.ws[i][j];
+                if w > 0.0 {
+                    let beta = self.xs[i][j] / w;
+                    let prev = self.prev_beta[i][j];
+                    if prev.is_nan() {
+                        node_change = f64::INFINITY;
+                    } else {
+                        let denom = beta.abs().max(f64::MIN_POSITIVE);
+                        node_change = node_change.max((beta - prev).abs() / denom);
+                    }
+                    self.prev_beta[i][j] = beta;
+                } else {
+                    defined = false;
+                    self.prev_beta[i][j] = f64::NAN;
+                }
+            }
+            if defined && node_change <= self.config.epsilon {
+                self.streaks[i] += 1;
+            } else {
+                self.streaks[i] = 0;
+            }
+            max_change = max_change.max(node_change);
+            if !defined {
+                max_change = f64::INFINITY;
+            }
+            all &= self.streaks[i] >= self.config.patience;
+        }
+        let all_converged = all && self.step_idx >= self.config.min_steps;
+        StepOutcome { all_converged, max_change }
+    }
+
+    /// Run until all alive nodes converge or the step budget is exhausted.
+    /// Returns the number of steps taken in this call and whether
+    /// convergence was reached.
+    pub fn run<C: TargetChooser, R: Rng + ?Sized>(&mut self, chooser: &C, rng: &mut R) -> (usize, bool) {
+        let mut steps = 0;
+        while steps < self.config.max_steps {
+            let out = self.step(chooser, rng);
+            steps += 1;
+            if out.all_converged {
+                return (steps, true);
+            }
+        }
+        (steps, false)
+    }
+
+    /// A data-parallel [`step`](Self::step) over `threads` crossbeam scoped
+    /// threads, producing **bit-identical** results to the sequential step
+    /// for the same RNG state.
+    ///
+    /// Determinism is preserved by splitting the step into phases whose
+    /// parallel units never share writes:
+    ///
+    /// 1. targets and loss decisions are drawn *sequentially* (exactly the
+    ///    RNG consumption order of the sequential step);
+    /// 2. each node's retained half is written in parallel (per-node);
+    /// 3. deliveries are grouped **by receiver** and applied in parallel
+    ///    over receivers, each receiver folding its senders in ascending
+    ///    order (floating-point addition order is therefore fixed);
+    /// 4. convergence bookkeeping runs in parallel per node.
+    pub fn par_step<C: TargetChooser, R: Rng + ?Sized>(
+        &mut self,
+        chooser: &C,
+        rng: &mut R,
+        threads: usize,
+    ) -> StepOutcome {
+        let n = self.n;
+        let threads = threads.clamp(1, n);
+        assert!(
+            self.corruption.iter().all(Option::is_none),
+            "par_step does not model gossip disturbance; use step()"
+        );
+        // Phase 0: sequential RNG draws, mirroring `step`'s order.
+        // sends[i] = Some(target) if node i's push survives.
+        let mut sends: Vec<Option<usize>> = vec![None; n];
+        #[allow(clippy::needless_range_loop)] // index drives multiple arrays
+        for i in 0..n {
+            if !self.alive[i] {
+                continue;
+            }
+            let t = chooser.choose(i, self.step_idx, n, rng);
+            self.stats.messages_sent += 1;
+            self.stats.triplets_sent += n as u64;
+            let lost = !self.alive[t]
+                || (self.config.loss_rate > 0.0 && rng.random::<f64>() < self.config.loss_rate);
+            if lost {
+                self.stats.messages_dropped += 1;
+            } else {
+                sends[i] = Some(t);
+            }
+        }
+        // Receiver-grouped sender lists (ascending sender order per group).
+        let mut senders_of: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (i, send) in sends.iter().enumerate() {
+            if let Some(t) = send {
+                senders_of[*t].push(i as u32);
+            }
+        }
+
+        // Phase 1 + 2: halves and deliveries, parallel over receivers.
+        {
+            let xs = &self.xs;
+            let ws = &self.ws;
+            let alive = &self.alive;
+            let chunk = n.div_ceil(threads);
+            // Pair up each receiver's output row with its sender list.
+            let mut work: Vec<(usize, &mut Vec<f64>, &mut Vec<f64>)> = self
+                .next_xs
+                .iter_mut()
+                .zip(self.next_ws.iter_mut())
+                .enumerate()
+                .map(|(i, (nx, nw))| (i, nx, nw))
+                .collect();
+            crossbeam::thread::scope(|scope| {
+                for batch in work.chunks_mut(chunk) {
+                    let senders_of = &senders_of;
+                    scope.spawn(move |_| {
+                        for item in batch.iter_mut() {
+                            let (i, nx, nw) = (item.0, &mut *item.1, &mut *item.2);
+                            if alive[i] {
+                                for (d, &s) in nx.iter_mut().zip(&xs[i]) {
+                                    *d = 0.5 * s;
+                                }
+                                for (d, &s) in nw.iter_mut().zip(&ws[i]) {
+                                    *d = 0.5 * s;
+                                }
+                            } else {
+                                nx.copy_from_slice(&xs[i]);
+                                nw.copy_from_slice(&ws[i]);
+                            }
+                            for &s in &senders_of[i] {
+                                let s = s as usize;
+                                for (d, &v) in nx.iter_mut().zip(&xs[s]) {
+                                    *d += 0.5 * v;
+                                }
+                                for (d, &v) in nw.iter_mut().zip(&ws[s]) {
+                                    *d += 0.5 * v;
+                                }
+                            }
+                        }
+                    });
+                }
+            })
+            .expect("gossip worker panicked");
+        }
+        std::mem::swap(&mut self.xs, &mut self.next_xs);
+        std::mem::swap(&mut self.ws, &mut self.next_ws);
+        self.step_idx += 1;
+        self.stats.steps += 1;
+
+        // Phase 3: convergence bookkeeping, parallel per node.
+        let epsilon = self.config.epsilon;
+        let results: Vec<(bool, f64)> = {
+            let xs = &self.xs;
+            let ws = &self.ws;
+            let alive = &self.alive;
+            let chunk = n.div_ceil(threads);
+            let mut out: Vec<(bool, f64)> = vec![(true, 0.0); n];
+            crossbeam::thread::scope(|scope| {
+                let mut rest_beta: &mut [Vec<f64>] = &mut self.prev_beta;
+                let mut rest_out: &mut [(bool, f64)] = &mut out;
+                let mut base = 0usize;
+                while !rest_beta.is_empty() {
+                    let take = chunk.min(rest_beta.len());
+                    let (beta_chunk, beta_tail) = rest_beta.split_at_mut(take);
+                    let (out_chunk, out_tail) = rest_out.split_at_mut(take);
+                    rest_beta = beta_tail;
+                    rest_out = out_tail;
+                    let start = base;
+                    base += take;
+                    scope.spawn(move |_| {
+                        for (off, (prev, slot)) in
+                            beta_chunk.iter_mut().zip(out_chunk.iter_mut()).enumerate()
+                        {
+                            let i = start + off;
+                            if !alive[i] {
+                                *slot = (true, 0.0);
+                                continue;
+                            }
+                            let mut change: f64 = 0.0;
+                            let mut defined = true;
+                            for j in 0..n {
+                                let w = ws[i][j];
+                                if w > 0.0 {
+                                    let beta = xs[i][j] / w;
+                                    let p = prev[j];
+                                    if p.is_nan() {
+                                        change = f64::INFINITY;
+                                    } else {
+                                        let denom = beta.abs().max(f64::MIN_POSITIVE);
+                                        change = change.max((beta - p).abs() / denom);
+                                    }
+                                    prev[j] = beta;
+                                } else {
+                                    defined = false;
+                                    prev[j] = f64::NAN;
+                                }
+                            }
+                            *slot = (defined, change);
+                        }
+                    });
+                }
+            })
+            .expect("gossip worker panicked");
+            out
+        };
+        let mut max_change: f64 = 0.0;
+        let mut all = true;
+        #[allow(clippy::needless_range_loop)] // index drives multiple arrays
+        for i in 0..n {
+            if !self.alive[i] {
+                continue;
+            }
+            let (defined, change) = results[i];
+            if defined && change <= epsilon {
+                self.streaks[i] += 1;
+            } else {
+                self.streaks[i] = 0;
+            }
+            max_change = max_change.max(change);
+            if !defined {
+                max_change = f64::INFINITY;
+            }
+            all &= self.streaks[i] >= self.config.patience;
+        }
+        let all_converged = all && self.step_idx >= self.config.min_steps;
+        StepOutcome { all_converged, max_change }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chooser::UniformChooser;
+    use gossiptrust_core::matrix::TrustMatrixBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn star(n: usize) -> TrustMatrix {
+        let mut b = TrustMatrixBuilder::new(n);
+        for i in 1..n {
+            b.record(NodeId::from_index(i), NodeId(0), 1.0);
+        }
+        b.record(NodeId(0), NodeId(1), 1.0);
+        b.build()
+    }
+
+    fn config(n: usize) -> EngineConfig {
+        EngineConfig::from_params(&Params::for_network(n), n)
+    }
+
+    /// One lossless gossip cycle must reproduce the exact matrix–vector
+    /// product on every node.
+    #[test]
+    fn converges_to_exact_matvec() {
+        let n = 24;
+        let m = star(n);
+        let v0 = ReputationVector::uniform(n);
+        let prior = Prior::uniform(n);
+        let alpha = 0.15;
+        let mut engine = VectorGossipEngine::new(n, config(n));
+        engine.seed(&m, &v0, &prior, alpha);
+        let mut rng = StdRng::seed_from_u64(11);
+        let (_, converged) = engine.run(&UniformChooser, &mut rng);
+        assert!(converged);
+        // Exact target.
+        let mut exact = vec![0.0; n];
+        m.transpose_mul(v0.values(), &mut exact).unwrap();
+        prior.mix_into(&mut exact, alpha);
+        for i in 0..n {
+            let est = engine.extract(NodeId::from_index(i));
+            for j in 0..n {
+                let rel = (est[j] - exact[j]).abs() / exact[j].max(1e-12);
+                assert!(rel < 1e-3, "node {i} comp {j}: {} vs {}", est[j], exact[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn seeding_sums_to_one_centralized_iteration() {
+        let n = 10;
+        let m = star(n);
+        let v0 = ReputationVector::uniform(n);
+        let prior = Prior::over_nodes(n, &[NodeId(0), NodeId(1)]);
+        let alpha = 0.3;
+        let mut engine = VectorGossipEngine::new(n, config(n));
+        engine.seed(&m, &v0, &prior, alpha);
+        let mut exact = vec![0.0; n];
+        m.transpose_mul(v0.values(), &mut exact).unwrap();
+        prior.mix_into(&mut exact, alpha);
+        #[allow(clippy::needless_range_loop)] // index drives multiple arrays
+        for j in 0..n {
+            let (x, w) = engine.component_mass(NodeId::from_index(j));
+            assert!((x - exact[j]).abs() < 1e-12, "component {j}");
+            assert!((w - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mass_conserved_without_loss() {
+        let n = 12;
+        let m = star(n);
+        let mut engine = VectorGossipEngine::new(n, config(n));
+        engine.seed(&m, &ReputationVector::uniform(n), &Prior::uniform(n), 0.0);
+        let before: Vec<(f64, f64)> = (0..n).map(|j| engine.component_mass(NodeId::from_index(j))).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..30 {
+            engine.step(&UniformChooser, &mut rng);
+        }
+        for (j, &(x0, w0)) in before.iter().enumerate() {
+            let (x1, w1) = engine.component_mass(NodeId::from_index(j));
+            assert!((x0 - x1).abs() < 1e-12, "x mass of comp {j}");
+            assert!((w0 - w1).abs() < 1e-12, "w mass of comp {j}");
+        }
+    }
+
+    #[test]
+    fn loss_drops_messages_but_still_converges_roughly() {
+        let n = 24;
+        let m = star(n);
+        let cfg = config(n).with_loss_rate(0.10);
+        let mut engine = VectorGossipEngine::new(n, cfg);
+        engine.seed(&m, &ReputationVector::uniform(n), &Prior::uniform(n), 0.15);
+        let mut rng = StdRng::seed_from_u64(17);
+        let (_, converged) = engine.run(&UniformChooser, &mut rng);
+        assert!(converged, "lossy gossip should still converge");
+        assert!(engine.stats().messages_dropped > 0);
+        // The ratios still approximate the exact product on average:
+        // push-sum loses x and w *together*, so ratios stay roughly (not
+        // exactly) unbiased; individual components can drift when the drops
+        // hit a component's consensus weight early, so we check the mean.
+        let mut exact = vec![0.0; n];
+        m.transpose_mul(&vec![1.0 / n as f64; n], &mut exact).unwrap();
+        Prior::uniform(n).mix_into(&mut exact, 0.15);
+        let est = engine.mean_estimate();
+        let mean_rel: f64 = (0..n)
+            .map(|j| (est[j] - exact[j]).abs() / exact[j])
+            .sum::<f64>()
+            / n as f64;
+        assert!(mean_rel < 0.35, "mean rel err {mean_rel}");
+    }
+
+    #[test]
+    fn dead_node_freezes_and_others_converge() {
+        let n = 16;
+        let m = star(n);
+        let mut engine = VectorGossipEngine::new(n, config(n));
+        engine.seed(&m, &ReputationVector::uniform(n), &Prior::uniform(n), 0.15);
+        // Let node 5's consensus weight spread before the crash; if a node
+        // dies before its w seed ever leaves it, its own score component
+        // becomes unaggregatable in this cycle (all of w_5 is frozen).
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..6 {
+            engine.step(&UniformChooser, &mut rng);
+        }
+        engine.kill(NodeId(5));
+        assert!(!engine.is_alive(NodeId(5)));
+        let frozen = engine.extract(NodeId(5));
+        let (_, converged) = engine.run(&UniformChooser, &mut rng);
+        assert!(converged);
+        assert_eq!(engine.extract(NodeId(5)), frozen, "dead node state must not change");
+    }
+
+    #[test]
+    fn consensus_spread_shrinks() {
+        let n = 16;
+        let m = star(n);
+        let mut engine = VectorGossipEngine::new(n, config(n));
+        engine.seed(&m, &ReputationVector::uniform(n), &Prior::uniform(n), 0.15);
+        let mut rng = StdRng::seed_from_u64(29);
+        for _ in 0..4 {
+            engine.step(&UniformChooser, &mut rng);
+        }
+        let early = engine.consensus_spread();
+        for _ in 0..60 {
+            engine.step(&UniformChooser, &mut rng);
+        }
+        let late = engine.consensus_spread();
+        assert!(late < early || early == f64::INFINITY, "spread {early} -> {late}");
+        assert!(late < 1e-3);
+    }
+
+    #[test]
+    fn min_steps_is_respected() {
+        let n = 8;
+        let m = star(n);
+        let mut cfg = config(n);
+        cfg.min_steps = 20;
+        let mut engine = VectorGossipEngine::new(n, cfg);
+        engine.seed(&m, &ReputationVector::uniform(n), &Prior::uniform(n), 0.15);
+        let mut rng = StdRng::seed_from_u64(31);
+        let (steps, converged) = engine.run(&UniformChooser, &mut rng);
+        assert!(converged);
+        assert!(steps >= 20, "converged after only {steps} steps");
+    }
+
+    #[test]
+    fn reseeding_resets_detectors() {
+        let n = 8;
+        let m = star(n);
+        let mut engine = VectorGossipEngine::new(n, config(n));
+        let v0 = ReputationVector::uniform(n);
+        engine.seed(&m, &v0, &Prior::uniform(n), 0.15);
+        let mut rng = StdRng::seed_from_u64(37);
+        let (_, c1) = engine.run(&UniformChooser, &mut rng);
+        assert!(c1);
+        // New cycle must run again (not instantly report converged).
+        engine.seed(&m, &v0, &Prior::uniform(n), 0.15);
+        let out = engine.step(&UniformChooser, &mut rng);
+        assert!(!out.all_converged);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn rejects_single_node() {
+        let _ = VectorGossipEngine::new(1, config(2));
+    }
+
+    #[test]
+    fn corrupt_sender_inflates_its_component() {
+        let n = 16;
+        let m = star(n);
+        let run = |corrupt: bool| {
+            let mut engine = VectorGossipEngine::new(n, config(n));
+            engine.seed(&m, &ReputationVector::uniform(n), &Prior::uniform(n), 0.15);
+            if corrupt {
+                engine.set_corruption(NodeId(5), vec![5], 4.0);
+            }
+            let mut rng = StdRng::seed_from_u64(9);
+            engine.run(&UniformChooser, &mut rng);
+            let est = engine.mean_estimate();
+            ReputationVector::from_weights(est.iter().map(|&x| x.max(0.0)).collect()).unwrap()
+        };
+        let honest = run(false);
+        let corrupted = run(true);
+        assert!(
+            corrupted.score(NodeId(5)) > honest.score(NodeId(5)) * 1.2,
+            "forged mass should inflate node 5: {} vs {}",
+            corrupted.score(NodeId(5)),
+            honest.score(NodeId(5))
+        );
+    }
+
+    #[test]
+    fn corruption_can_be_cleared() {
+        let n = 8;
+        let mut engine = VectorGossipEngine::new(n, config(n));
+        engine.set_corruption(NodeId(1), vec![1], 3.0);
+        engine.set_corruption(NodeId(1), vec![], 3.0); // cleared
+        engine.set_corruption(NodeId(2), vec![2], 1.0); // factor 1 = honest
+        let m = star(n);
+        engine.seed(&m, &ReputationVector::uniform(n), &Prior::uniform(n), 0.15);
+        // With all corruption cleared, mass is conserved.
+        let before: Vec<(f64, f64)> =
+            (0..n).map(|j| engine.component_mass(NodeId::from_index(j))).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            engine.step(&UniformChooser, &mut rng);
+        }
+        for (j, &(x0, _)) in before.iter().enumerate() {
+            let (x1, _) = engine.component_mass(NodeId::from_index(j));
+            assert!((x0 - x1).abs() < 1e-12, "comp {j}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not model gossip disturbance")]
+    fn par_step_rejects_corruption() {
+        let n = 8;
+        let m = star(n);
+        let mut engine = VectorGossipEngine::new(n, config(n));
+        engine.seed(&m, &ReputationVector::uniform(n), &Prior::uniform(n), 0.15);
+        engine.set_corruption(NodeId(1), vec![1], 2.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        engine.par_step(&UniformChooser, &mut rng, 2);
+    }
+
+    /// The crossbeam-parallel step must be bit-identical to the sequential
+    /// step for the same RNG stream — including under loss injection and
+    /// dead nodes.
+    #[test]
+    fn par_step_is_bit_identical_to_step() {
+        let n = 32;
+        let m = star(n);
+        for loss in [0.0, 0.15] {
+            let cfg = config(n).with_loss_rate(loss);
+            let mut seq = VectorGossipEngine::new(n, cfg.clone());
+            seq.seed(&m, &ReputationVector::uniform(n), &Prior::uniform(n), 0.15);
+            seq.kill(NodeId(9));
+            let mut par = seq.clone();
+            let mut rng_a = StdRng::seed_from_u64(77);
+            let mut rng_b = StdRng::seed_from_u64(77);
+            for threads in [1usize, 2, 3, 8] {
+                let a = seq.step(&UniformChooser, &mut rng_a);
+                let b = par.par_step(&UniformChooser, &mut rng_b, threads);
+                assert_eq!(a, b, "outcome diverged (threads={threads}, loss={loss})");
+                for i in 0..n {
+                    let id = NodeId::from_index(i);
+                    assert_eq!(seq.extract(id), par.extract(id), "node {i} state diverged");
+                }
+                assert_eq!(seq.stats(), par.stats());
+            }
+        }
+    }
+
+    #[test]
+    fn par_step_converges_like_step() {
+        let n = 24;
+        let m = star(n);
+        let mut engine = VectorGossipEngine::new(n, config(n));
+        engine.seed(&m, &ReputationVector::uniform(n), &Prior::uniform(n), 0.15);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut converged = false;
+        for _ in 0..engine.config().max_steps {
+            if engine.par_step(&UniformChooser, &mut rng, 4).all_converged {
+                converged = true;
+                break;
+            }
+        }
+        assert!(converged);
+        let mut exact = vec![0.0; n];
+        m.transpose_mul(&vec![1.0 / n as f64; n], &mut exact).unwrap();
+        Prior::uniform(n).mix_into(&mut exact, 0.15);
+        let est = engine.mean_estimate();
+        for j in 0..n {
+            let rel = (est[j] - exact[j]).abs() / exact[j];
+            assert!(rel < 1e-3, "comp {j}: {rel}");
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Algorithm 1 — scalar push-sum gossip for a single peer score.
+//!
+//! Every node `i` holds a gossip pair `(x_i, w_i)`. To aggregate the global
+//! score of peer `j` at cycle `t`, the pairs are seeded as
+//! `x_i(0) = s_ij · v_i(t-1)` and `w_i(0) = 1` iff `i = j` (so exactly one
+//! unit of consensus weight exists network-wide). Each gossip step every
+//! node keeps half of its pair and pushes the other half to a random node;
+//! received halves are summed. Both `Σ_i x_i` and `Σ_i w_i` are conserved,
+//! so the ratio `x_i/w_i` on every node converges to
+//! `Σ_i x_i(0) / Σ_i w_i(0) = Σ_i s_ij·v_i(t-1) = v_j(t)` — the weighted sum
+//! of Eq. 7 — simultaneously on all nodes.
+
+use crate::chooser::TargetChooser;
+use crate::stats::GossipStats;
+use gossiptrust_core::convergence::RatioTracker;
+use gossiptrust_core::id::NodeId;
+use gossiptrust_core::matrix::TrustMatrix;
+use gossiptrust_core::vector::ReputationVector;
+use rand::Rng;
+
+/// A synchronous-round network of `n` nodes running one push-sum instance.
+#[derive(Clone, Debug)]
+pub struct PushSumNetwork {
+    xs: Vec<f64>,
+    ws: Vec<f64>,
+    trackers: Vec<RatioTracker>,
+    stats: GossipStats,
+    step_idx: usize,
+}
+
+/// Result of driving a [`PushSumNetwork`] to convergence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PushSumOutcome {
+    /// Gossip steps executed (the paper's `g`).
+    pub steps: usize,
+    /// Whether every node's local detector fired within the step budget.
+    pub converged: bool,
+    /// Final per-node estimates `x_i/w_i` (`None` where `w_i = 0`).
+    pub ratios: Vec<Option<f64>>,
+    /// Instrumentation counters.
+    pub stats: GossipStats,
+}
+
+impl PushSumNetwork {
+    /// Seed per Algorithm 1 to aggregate the global score of peer `j`:
+    /// `x_i = s_ij · v_i`, `w_i = [i == j]`.
+    pub fn for_score(
+        matrix: &TrustMatrix,
+        v_prev: &ReputationVector,
+        j: NodeId,
+        epsilon: f64,
+        patience: usize,
+    ) -> Self {
+        assert_eq!(matrix.n(), v_prev.n(), "matrix and vector must agree on n");
+        let n = matrix.n();
+        let xs: Vec<f64> = (0..n)
+            .map(|i| {
+                let id = NodeId::from_index(i);
+                matrix.entry(id, j) * v_prev.score(id)
+            })
+            .collect();
+        let mut ws = vec![0.0; n];
+        ws[j.index()] = 1.0;
+        Self::from_pairs(xs, ws, epsilon, patience)
+    }
+
+    /// Seed from arbitrary pairs (general-purpose aggregate computation:
+    /// with all `w_i = 1` the consensus value is the *average* of the `x_i`;
+    /// with a single `w = 1` it is their *sum*).
+    pub fn from_pairs(xs: Vec<f64>, ws: Vec<f64>, epsilon: f64, patience: usize) -> Self {
+        assert_eq!(xs.len(), ws.len(), "xs and ws must have equal length");
+        assert!(xs.len() >= 2, "push-sum needs at least two nodes");
+        assert!(
+            ws.iter().sum::<f64>() > 0.0,
+            "total consensus weight must be positive"
+        );
+        let n = xs.len();
+        PushSumNetwork {
+            xs,
+            ws,
+            trackers: vec![RatioTracker::new(epsilon, patience); n],
+            stats: GossipStats::default(),
+            step_idx: 0,
+        }
+    }
+
+    /// Network size.
+    pub fn n(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Current gossip pair of node `i`.
+    pub fn pair(&self, i: NodeId) -> (f64, f64) {
+        (self.xs[i.index()], self.ws[i.index()])
+    }
+
+    /// Current per-node ratio estimates (`None` where `w = 0`).
+    pub fn ratios(&self) -> Vec<Option<f64>> {
+        self.xs
+            .iter()
+            .zip(&self.ws)
+            .map(|(&x, &w)| if w > 0.0 { Some(x / w) } else { None })
+            .collect()
+    }
+
+    /// Total `(Σx, Σw)` — conserved by every lossless step.
+    pub fn total_mass(&self) -> (f64, f64) {
+        (self.xs.iter().sum(), self.ws.iter().sum())
+    }
+
+    /// Instrumentation counters so far.
+    pub fn stats(&self) -> GossipStats {
+        self.stats
+    }
+
+    /// Execute one synchronous gossip step: every node keeps half of its
+    /// pair and pushes the other half to `chooser`'s target. Returns `true`
+    /// when every node's convergence detector has fired.
+    pub fn step<C: TargetChooser, R: Rng + ?Sized>(&mut self, chooser: &C, rng: &mut R) -> bool {
+        let n = self.n();
+        // Phase 1: halve in place (the retained self-half).
+        for v in self.xs.iter_mut() {
+            *v *= 0.5;
+        }
+        for v in self.ws.iter_mut() {
+            *v *= 0.5;
+        }
+        // Phase 2: snapshot the halves being pushed, then deliver. The
+        // snapshot keeps the round synchronous: deliveries must not leak
+        // into messages sent in the same step.
+        let sent_x = self.xs.clone();
+        let sent_w = self.ws.clone();
+        for i in 0..n {
+            let t = chooser.choose(i, self.step_idx, n, rng);
+            self.xs[t] += sent_x[i];
+            self.ws[t] += sent_w[i];
+            self.stats.messages_sent += 1;
+            self.stats.triplets_sent += 1;
+        }
+        self.step_idx += 1;
+        self.stats.steps += 1;
+        let mut all = true;
+        for i in 0..n {
+            let done = self.trackers[i].observe(self.xs[i], self.ws[i]);
+            all &= done;
+        }
+        all
+    }
+
+    /// Drive to convergence: at least `min_steps`, at most `max_steps`.
+    pub fn run<C: TargetChooser, R: Rng + ?Sized>(
+        &mut self,
+        min_steps: usize,
+        max_steps: usize,
+        chooser: &C,
+        rng: &mut R,
+    ) -> PushSumOutcome {
+        let mut converged = false;
+        let mut steps = 0;
+        while steps < max_steps {
+            let all = self.step(chooser, rng);
+            steps += 1;
+            if all && steps >= min_steps {
+                converged = true;
+                break;
+            }
+        }
+        PushSumOutcome {
+            steps,
+            converged,
+            ratios: self.ratios(),
+            stats: self.stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chooser::{ScriptedChooser, UniformChooser};
+    use gossiptrust_core::matrix::TrustMatrixBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The exact setup of Fig. 2 / Table 1: 3 nodes,
+    /// `V(t) = (1/2, 1/3, 1/6)`, column scores for peer N2:
+    /// `s_12 = 0.2, s_22 = 0, s_32 = 0.6`, expected consensus 0.2.
+    fn paper_example() -> PushSumNetwork {
+        let xs = vec![0.5 * 0.2, (1.0 / 3.0) * 0.0, (1.0 / 6.0) * 0.6];
+        let ws = vec![0.0, 1.0, 0.0];
+        PushSumNetwork::from_pairs(xs, ws, 1e-9, 1)
+    }
+
+    #[test]
+    fn paper_step_one_matches_text() {
+        // Text of §4.2: N1 → N3, N2 → N1, N3 → N1 in step 1. Afterwards
+        // N1 holds (0.1, 0.5) with ratio 0.2, N2 holds (0, 0.5) with ratio
+        // 0, and N3 holds (0.1, 0) whose ratio is undefined (the paper's ∞).
+        let mut net = paper_example();
+        let chooser = ScriptedChooser::new(vec![vec![2, 0, 0]]);
+        let mut rng = StdRng::seed_from_u64(0);
+        net.step(&chooser, &mut rng);
+        let (x1, w1) = net.pair(NodeId(0));
+        assert!((x1 - 0.1).abs() < 1e-12 && (w1 - 0.5).abs() < 1e-12);
+        let r = net.ratios();
+        assert!((r[0].unwrap() - 0.2).abs() < 1e-12);
+        assert_eq!(r[1], Some(0.0));
+        assert_eq!(r[2], None, "w=0 is the paper's ∞ case");
+    }
+
+    #[test]
+    fn paper_example_converges_to_point_two() {
+        let mut net = paper_example();
+        let mut rng = StdRng::seed_from_u64(42);
+        let out = net.run(2, 500, &UniformChooser, &mut rng);
+        assert!(out.converged);
+        for r in out.ratios {
+            let v = r.expect("all weights positive at convergence");
+            assert!((v - 0.2).abs() < 1e-6, "ratio {v}");
+        }
+    }
+
+    #[test]
+    fn mass_is_conserved() {
+        let mut net = paper_example();
+        let (x0, w0) = net.total_mass();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            net.step(&UniformChooser, &mut rng);
+        }
+        let (x1, w1) = net.total_mass();
+        assert!((x0 - x1).abs() < 1e-12);
+        assert!((w0 - w1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn for_score_seeds_per_algorithm_1() {
+        let mut b = TrustMatrixBuilder::new(3);
+        b.record(NodeId(0), NodeId(1), 0.2);
+        b.record(NodeId(0), NodeId(2), 0.8);
+        b.record(NodeId(1), NodeId(0), 1.0);
+        b.record(NodeId(2), NodeId(1), 0.6);
+        b.record(NodeId(2), NodeId(0), 0.4);
+        let m = b.build();
+        let v = ReputationVector::from_weights(vec![0.5, 1.0 / 3.0, 1.0 / 6.0]).unwrap();
+        let net = PushSumNetwork::for_score(&m, &v, NodeId(1), 1e-6, 1);
+        let (x0, _) = net.pair(NodeId(0));
+        assert!((x0 - 0.1).abs() < 1e-12);
+        let (x1, w1) = net.pair(NodeId(1));
+        assert_eq!(x1, 0.0);
+        assert_eq!(w1, 1.0);
+        let (x2, _) = net.pair(NodeId(2));
+        assert!((x2 - 0.1).abs() < 1e-12);
+        // Consensus target is Σ xᵢ = v_j(t+1) = 0.2.
+        let (total_x, total_w) = net.total_mass();
+        assert!((total_x - 0.2).abs() < 1e-12);
+        assert_eq!(total_w, 1.0);
+    }
+
+    #[test]
+    fn average_mode_computes_average() {
+        // All w = 1 → the consensus value is the average of inputs.
+        let xs = vec![1.0, 2.0, 3.0, 6.0];
+        let ws = vec![1.0; 4];
+        let mut net = PushSumNetwork::from_pairs(xs, ws, 1e-10, 2);
+        let mut rng = StdRng::seed_from_u64(9);
+        let out = net.run(2, 1000, &UniformChooser, &mut rng);
+        assert!(out.converged);
+        for r in out.ratios {
+            assert!((r.unwrap() - 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sum_mode_computes_sum() {
+        // Single w = 1 → consensus is the sum.
+        let xs = vec![1.0, 2.0, 3.0];
+        let ws = vec![1.0, 0.0, 0.0];
+        let mut net = PushSumNetwork::from_pairs(xs, ws, 1e-10, 2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let out = net.run(2, 1000, &UniformChooser, &mut rng);
+        assert!(out.converged);
+        for r in out.ratios {
+            assert!((r.unwrap() - 6.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn steps_grow_with_tighter_epsilon() {
+        let run_with = |eps: f64| {
+            let xs: Vec<f64> = (0..64).map(|i| i as f64).collect();
+            let ws = vec![1.0; 64];
+            let mut net = PushSumNetwork::from_pairs(xs, ws, eps, 2);
+            let mut rng = StdRng::seed_from_u64(3);
+            net.run(6, 20_000, &UniformChooser, &mut rng).steps
+        };
+        let loose = run_with(1e-2);
+        let tight = run_with(1e-8);
+        assert!(tight > loose, "tight {tight} vs loose {loose}");
+    }
+
+    #[test]
+    fn stats_count_messages() {
+        let mut net = paper_example();
+        let mut rng = StdRng::seed_from_u64(2);
+        net.step(&UniformChooser, &mut rng);
+        net.step(&UniformChooser, &mut rng);
+        let s = net.stats();
+        assert_eq!(s.steps, 2);
+        assert_eq!(s.messages_sent, 6); // 3 nodes × 2 steps
+        assert_eq!(s.triplets_sent, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "total consensus weight")]
+    fn zero_weight_network_is_rejected() {
+        let _ = PushSumNetwork::from_pairs(vec![1.0, 2.0], vec![0.0, 0.0], 1e-3, 1);
+    }
+}

@@ -1,0 +1,60 @@
+//! Instrumentation counters for gossip runs.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by a gossip engine.
+///
+/// A "message" is one gossip pair/vector pushed across the network (the
+/// self-half a node keeps is *not* counted — it never touches a link).
+/// `triplets_sent` approximates bandwidth: for the vector protocol each
+/// message carries `n` triplets, for the scalar protocol exactly one.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GossipStats {
+    /// Gossip steps executed.
+    pub steps: u64,
+    /// Messages pushed onto the network (excluding self-halves).
+    pub messages_sent: u64,
+    /// Messages lost to injected link failures.
+    pub messages_dropped: u64,
+    /// Total triplets carried by sent messages (bandwidth proxy).
+    pub triplets_sent: u64,
+}
+
+impl GossipStats {
+    /// Merge another counter set into this one (used when summing cycles).
+    pub fn absorb(&mut self, other: &GossipStats) {
+        self.steps += other.steps;
+        self.messages_sent += other.messages_sent;
+        self.messages_dropped += other.messages_dropped;
+        self.triplets_sent += other.triplets_sent;
+    }
+
+    /// Fraction of sent messages that were dropped (0 when nothing sent).
+    pub fn drop_rate(&self) -> f64 {
+        if self.messages_sent == 0 {
+            0.0
+        } else {
+            self.messages_dropped as f64 / self.messages_sent as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_fields() {
+        let mut a = GossipStats { steps: 1, messages_sent: 10, messages_dropped: 2, triplets_sent: 100 };
+        let b = GossipStats { steps: 2, messages_sent: 5, messages_dropped: 0, triplets_sent: 50 };
+        a.absorb(&b);
+        assert_eq!(a, GossipStats { steps: 3, messages_sent: 15, messages_dropped: 2, triplets_sent: 150 });
+    }
+
+    #[test]
+    fn drop_rate_handles_zero() {
+        assert_eq!(GossipStats::default().drop_rate(), 0.0);
+        let s = GossipStats { messages_sent: 4, messages_dropped: 1, ..Default::default() };
+        assert_eq!(s.drop_rate(), 0.25);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the push-sum protocol and the vector engine.
+//!
+//! The central property of push-sum — *mass conservation* — implies that
+//! whenever the ratios do reach consensus, the consensus value is exactly
+//! `Σx(0)/Σw(0)`. These tests drive random instances and check both the
+//! conservation law and the limit value.
+
+use gossiptrust_core::prelude::*;
+use gossiptrust_gossip::{EngineConfig, PushSumNetwork, UniformChooser, VectorGossipEngine};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Scalar push-sum converges to Σx/Σw for arbitrary non-negative seeds
+    /// with at least one positive weight.
+    #[test]
+    fn pushsum_converges_to_weighted_sum(
+        xs in vec(0.0f64..10.0, 4..32),
+        seed in 0u64..1000,
+        weight_holder in 0usize..32,
+    ) {
+        let n = xs.len();
+        let mut ws = vec![0.0; n];
+        ws[weight_holder % n] = 1.0;
+        let expected: f64 = xs.iter().sum();
+        let mut net = PushSumNetwork::from_pairs(xs, ws, 1e-10, 3);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let min_steps = (n as f64).log2().ceil() as usize;
+        let out = net.run(min_steps, 5_000, &UniformChooser, &mut rng);
+        prop_assert!(out.converged, "did not converge");
+        for r in out.ratios {
+            let v = r.expect("all weights positive at convergence");
+            let err = (v - expected).abs() / expected.abs().max(1e-12);
+            prop_assert!(err < 1e-4, "ratio {} vs expected {}", v, expected);
+        }
+    }
+
+    /// Mass conservation holds after any number of lossless steps, for both
+    /// x and w, regardless of target choices.
+    #[test]
+    fn pushsum_mass_conservation(
+        xs in vec(0.0f64..5.0, 3..24),
+        steps in 1usize..60,
+        seed in 0u64..1000,
+    ) {
+        let n = xs.len();
+        let mut ws = vec![0.0; n];
+        ws[0] = 1.0;
+        let x_total: f64 = xs.iter().sum();
+        let mut net = PushSumNetwork::from_pairs(xs, ws, 1e-6, 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..steps {
+            net.step(&UniformChooser, &mut rng);
+        }
+        let (x, w) = net.total_mass();
+        prop_assert!((x - x_total).abs() < 1e-9);
+        prop_assert!((w - 1.0).abs() < 1e-9);
+    }
+
+    /// One cycle of the vector engine reproduces the exact centralized
+    /// matrix–vector product for random trust matrices, on every node.
+    #[test]
+    fn vector_engine_matches_exact_matvec(
+        n in 4usize..20,
+        edges in vec((0u32..20, 0u32..20, 0.1f64..5.0), 5..60),
+        seed in 0u64..500,
+        alpha in 0.0f64..0.5,
+    ) {
+        let mut b = TrustMatrixBuilder::new(n);
+        for &(i, j, r) in &edges {
+            b.record(NodeId(i % n as u32), NodeId(j % n as u32), r);
+        }
+        let m = b.build();
+        let v0 = ReputationVector::uniform(n);
+        let prior = Prior::uniform(n);
+        let params = Params::for_network(n).with_epsilon(1e-6);
+        let mut engine = VectorGossipEngine::new(n, EngineConfig::from_params(&params, n));
+        engine.seed(&m, &v0, &prior, alpha);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (_, converged) = engine.run(&UniformChooser, &mut rng);
+        prop_assert!(converged);
+        let mut exact = vec![0.0; n];
+        m.transpose_mul(v0.values(), &mut exact).unwrap();
+        prior.mix_into(&mut exact, alpha);
+        for i in 0..n {
+            let est = engine.extract(NodeId::from_index(i));
+            for j in 0..n {
+                let rel = (est[j] - exact[j]).abs() / exact[j].abs().max(1e-12);
+                prop_assert!(rel < 1e-3, "node {} comp {}: {} vs {}", i, j, est[j], exact[j]);
+            }
+        }
+    }
+
+    /// Component mass in the vector engine is conserved step by step when
+    /// nothing is lost: Σ_i x_i[j] and Σ_i w_i[j] are invariant.
+    #[test]
+    fn vector_engine_mass_conservation(
+        n in 4usize..16,
+        steps in 1usize..30,
+        seed in 0u64..500,
+    ) {
+        let mut b = TrustMatrixBuilder::new(n);
+        for i in 0..n {
+            b.record(NodeId::from_index(i), NodeId::from_index((i + 1) % n), 1.0);
+        }
+        let m = b.build();
+        let params = Params::for_network(n);
+        let mut engine = VectorGossipEngine::new(n, EngineConfig::from_params(&params, n));
+        engine.seed(&m, &ReputationVector::uniform(n), &Prior::uniform(n), 0.15);
+        let before: Vec<(f64, f64)> =
+            (0..n).map(|j| engine.component_mass(NodeId::from_index(j))).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..steps {
+            engine.step(&UniformChooser, &mut rng);
+        }
+        for (j, &(x0, w0)) in before.iter().enumerate() {
+            let (x1, w1) = engine.component_mass(NodeId::from_index(j));
+            prop_assert!((x0 - x1).abs() < 1e-10, "x mass comp {}", j);
+            prop_assert!((w0 - w1).abs() < 1e-10, "w mass comp {}", j);
+        }
+    }
+}

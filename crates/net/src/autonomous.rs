@@ -1,0 +1,558 @@
+//! Fully distributed execution: no coordinator barrier.
+//!
+//! The [`crate::cluster`] driver synchronizes cycles with an explicit
+//! coordinator, which is convenient for measurement but is the one
+//! centralized crutch in the workspace. This module removes it:
+//!
+//! * every push piggybacks a **converged bitmap** — one bit per node, set
+//!   when that node's local detector has fired for the current cycle;
+//!   bitmaps OR-merge on receipt, so "everyone has converged" spreads
+//!   epidemically just like the scores themselves;
+//! * a node **ends its cycle locally** once its own detector has fired
+//!   and its bitmap is full: it extracts its vector estimate, selects
+//!   power nodes from its *own* estimate, and seeds the next cycle;
+//! * a **straggler** that receives a push from a later cycle jumps
+//!   forward: it closes its current cycle immediately and reseeds, so the
+//!   swarm never deadlocks on one slow node;
+//! * the number of aggregation cycles is **fixed up front** from the
+//!   paper's own convergence bound `d ≤ ⌈log_b δ⌉` with `b ≤ 1 − α`
+//!   (every node computes the same number from public parameters), which
+//!   makes termination collective *by construction* — the classic
+//!   distributed-termination pitfall (nodes whose private `δ` tests fire
+//!   at different cycles abandoning each other) cannot occur. Each node
+//!   still evaluates the `δ` test locally and reports whether it passed.
+//!
+//! Cycle numbers keep the push streams of different cycles from mixing,
+//! exactly as in the barrier mode.
+
+use crate::codec::Push;
+use crate::transport::Transport;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use gossiptrust_core::id::NodeId;
+use gossiptrust_core::matrix::TrustMatrix;
+use gossiptrust_core::params::Params;
+use gossiptrust_core::power_iter::cycle_bound;
+use gossiptrust_core::power_nodes::PowerNodeSelector;
+use gossiptrust_core::vector::ReputationVector;
+use gossiptrust_crypto::{IdentityKey, Pkg, SignedEnvelope, Verifier};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+use tokio::sync::mpsc;
+use tokio::time::MissedTickBehavior;
+
+/// A push extended with the sender's converged bitmap.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AutonomousPush {
+    /// The ordinary gossip push.
+    pub push: Push,
+    /// Bitmap of nodes known (transitively) to have converged this cycle.
+    pub converged: Vec<u64>,
+}
+
+impl AutonomousPush {
+    /// Serialize: `push_len: u32 | push | bitmap_words: u32 | bitmap`.
+    pub fn encode(&self) -> Bytes {
+        let push = self.push.encode();
+        let mut buf = BytesMut::with_capacity(8 + push.len() + 8 * self.converged.len());
+        buf.put_u32_le(push.len() as u32);
+        buf.put_slice(&push);
+        buf.put_u32_le(self.converged.len() as u32);
+        for &w in &self.converged {
+            buf.put_u64_le(w);
+        }
+        buf.freeze()
+    }
+
+    /// Deserialize; `None` on malformed input.
+    pub fn decode(mut data: &[u8]) -> Option<AutonomousPush> {
+        if data.len() < 4 {
+            return None;
+        }
+        let push_len = data.get_u32_le() as usize;
+        if data.len() < push_len + 4 {
+            return None;
+        }
+        let push = Push::decode(&data[..push_len])?;
+        data.advance(push_len);
+        let words = data.get_u32_le() as usize;
+        if data.len() != 8 * words {
+            return None;
+        }
+        let converged = (0..words).map(|_| data.get_u64_le()).collect();
+        Some(AutonomousPush { push, converged })
+    }
+}
+
+fn bitmap_words(n: usize) -> usize {
+    n.div_ceil(64)
+}
+
+fn bitmap_full(bitmap: &[u64], n: usize) -> bool {
+    let mut count = 0u32;
+    for &w in bitmap {
+        count += w.count_ones();
+    }
+    count as usize >= n
+}
+
+/// Configuration of an autonomous run.
+#[derive(Clone, Debug)]
+pub struct AutonomousConfig {
+    /// Gossip tick period per node.
+    pub tick: Duration,
+    /// Gossip threshold `ε` (relative change per tick).
+    pub epsilon: f64,
+    /// Consecutive calm ticks for the local detector.
+    pub patience: usize,
+    /// Per-cycle tick budget (forces cycle end on pathological cycles).
+    pub max_ticks: usize,
+    /// RNG / key seed.
+    pub seed: u64,
+    /// Wall-clock budget for the whole run.
+    pub deadline: Duration,
+}
+
+impl AutonomousConfig {
+    /// Fast settings for local tests.
+    pub fn fast_local() -> Self {
+        AutonomousConfig {
+            tick: Duration::from_millis(2),
+            epsilon: 1e-4,
+            patience: 2,
+            max_ticks: 5_000,
+            seed: 0,
+            deadline: Duration::from_secs(120),
+        }
+    }
+}
+
+/// One node's final report.
+#[derive(Clone, Debug)]
+pub struct NodeReport {
+    /// The node.
+    pub node: NodeId,
+    /// Its converged global reputation vector.
+    pub vector: ReputationVector,
+    /// Aggregation cycles it ran.
+    pub cycles: usize,
+    /// Whether its local `δ` test fired (vs. hitting the cycle budget).
+    pub converged: bool,
+}
+
+/// Result of an autonomous cluster run.
+#[derive(Clone, Debug)]
+pub struct AutonomousReport {
+    /// Per-node reports (one per node that finished before the deadline).
+    pub nodes: Vec<NodeReport>,
+    /// Mean vector over reporting nodes.
+    pub vector: ReputationVector,
+    /// Fraction of nodes whose local δ test fired.
+    pub converged_fraction: f64,
+}
+
+struct NodeState {
+    xs: Vec<f64>,
+    ws: Vec<f64>,
+    prev_beta: Vec<f64>,
+    streak: usize,
+    ticks: usize,
+    cycle: u32,
+    bitmap: Vec<u64>,
+    self_converged: bool,
+    previous_estimate: Option<ReputationVector>,
+    prior: Vec<f64>,
+    v_own: f64,
+    cycles_run: usize,
+    delta_passed: bool,
+}
+
+/// The fixed cycle count every node derives from public parameters: the
+/// paper's bound `d ≤ ⌈log_b δ⌉` with the mixing guarantee `b ≤ 1 − α`
+/// (plus slack for gossip noise), clamped to the configured budget.
+fn planned_cycles(params: &Params) -> usize {
+    let b = (1.0 - params.alpha).clamp(0.5, 0.95);
+    let bound = cycle_bound(params.delta, b).unwrap_or(params.max_cycles);
+    (bound + 3).min(params.max_cycles).max(2)
+}
+
+/// Run the fully distributed protocol over in-memory transports and
+/// collect every node's local result.
+///
+/// (Generic over [`Transport`] so tests can inject loss or tampering; the
+/// public entry point wires the in-memory network.)
+pub async fn run_autonomous<T: Transport>(
+    matrix: &TrustMatrix,
+    params: &Params,
+    config: AutonomousConfig,
+    transports: Vec<T>,
+    receivers: Vec<mpsc::Receiver<Bytes>>,
+) -> AutonomousReport {
+    let n = matrix.n();
+    assert!(n >= 2, "need at least two nodes");
+    assert_eq!(params.n, n, "params.n must match the matrix");
+    assert_eq!(transports.len(), n, "one transport per node");
+    let pkg = Pkg::from_seed(config.seed ^ 0xA070);
+    let (done_tx, mut done_rx) = mpsc::channel::<NodeReport>(n);
+
+    let mut tasks = Vec::with_capacity(n);
+    for (i, (transport, net_rx)) in transports.into_iter().zip(receivers).enumerate() {
+        let id = NodeId::from_index(i);
+        let (cols, vals) = matrix.row(id);
+        let row: Vec<(u32, f64)> = cols.iter().zip(vals).map(|(&c, &v)| (c, v)).collect();
+        let key = pkg.issue(i as u32);
+        let verifier = pkg.verifier();
+        let params = params.clone();
+        let config = config.clone();
+        let done = done_tx.clone();
+        tasks.push(tokio::spawn(async move {
+            autonomous_node(i as u32, n, row, params, config, key, verifier, transport, net_rx, done)
+                .await;
+        }));
+    }
+    drop(done_tx);
+
+    let mut nodes = Vec::with_capacity(n);
+    let deadline = tokio::time::Instant::now() + config.deadline;
+    while nodes.len() < n {
+        match tokio::time::timeout_at(deadline, done_rx.recv()).await {
+            Ok(Some(report)) => nodes.push(report),
+            Ok(None) | Err(_) => break,
+        }
+    }
+    for t in tasks {
+        t.abort();
+    }
+
+    assert!(!nodes.is_empty(), "no node finished before the deadline");
+    let mut mean = vec![0.0; n];
+    for r in &nodes {
+        for (m, &v) in mean.iter_mut().zip(r.vector.values()) {
+            *m += v / nodes.len() as f64;
+        }
+    }
+    let converged_fraction =
+        nodes.iter().filter(|r| r.converged).count() as f64 / nodes.len() as f64;
+    AutonomousReport {
+        vector: ReputationVector::from_weights(mean).expect("mean of normalized vectors"),
+        nodes,
+        converged_fraction,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+async fn autonomous_node<T: Transport>(
+    id: u32,
+    n: usize,
+    row: Vec<(u32, f64)>,
+    params: Params,
+    config: AutonomousConfig,
+    key: IdentityKey,
+    verifier: Verifier,
+    transport: T,
+    mut net_rx: mpsc::Receiver<Bytes>,
+    done: mpsc::Sender<NodeReport>,
+) {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ (id as u64).wrapping_mul(0x2545F4914F6CDD1D));
+    let selector = PowerNodeSelector::new(params.max_power_nodes);
+    let mut state = NodeState {
+        xs: vec![0.0; n],
+        ws: vec![0.0; n],
+        prev_beta: vec![f64::NAN; n],
+        streak: 0,
+        ticks: 0,
+        cycle: 1,
+        bitmap: vec![0; bitmap_words(n)],
+        self_converged: false,
+        previous_estimate: None,
+        prior: vec![1.0 / n as f64; n],
+        v_own: 1.0 / n as f64,
+        cycles_run: 0,
+        delta_passed: false,
+    };
+    seed_cycle(&mut state, id, n, &row, params.alpha);
+
+    let min_ticks = (n.max(2) as f64).log2().ceil() as usize;
+    let mut interval = tokio::time::interval(config.tick);
+    interval.set_missed_tick_behavior(MissedTickBehavior::Delay);
+
+    loop {
+        tokio::select! {
+            _ = interval.tick() => {
+                // Send one halved push with the piggybacked bitmap.
+                for x in state.xs.iter_mut() { *x *= 0.5; }
+                for w in state.ws.iter_mut() { *w *= 0.5; }
+                let raw = rng.random_range(0..n - 1);
+                let target = if raw >= id as usize { raw + 1 } else { raw } as u32;
+                let push = AutonomousPush {
+                    push: Push {
+                        sender: id,
+                        cycle: state.cycle,
+                        xs: state.xs.clone(),
+                        ws: state.ws.clone(),
+                    },
+                    converged: state.bitmap.clone(),
+                };
+                let envelope = key.seal(&push.encode());
+                transport.send(target, envelope.encode()).await;
+                state.ticks += 1;
+
+                // Local detector.
+                if !state.self_converged && detector_fires(&mut state, n, config.epsilon, config.patience, min_ticks)
+                    || state.ticks >= config.max_ticks
+                {
+                    state.self_converged = true;
+                    state.bitmap[id as usize / 64] |= 1u64 << (id as usize % 64);
+                }
+                // Cycle end: everyone (as far as we know) is done, or the
+                // tick budget forces progress (e.g. finished peers have
+                // gone quiet in the very last cycle).
+                let force = state.self_converged && state.ticks >= config.max_ticks;
+                if (state.self_converged && bitmap_full(&state.bitmap, n)) || force {
+                    let finished = end_cycle(&mut state, id, n, &row, &params, &selector);
+                    if let Some(report) = finished {
+                        let _ = done.send(report).await;
+                        return;
+                    }
+                }
+            }
+            msg = net_rx.recv() => {
+                let Some(data) = msg else { return };
+                let Some(envelope) = SignedEnvelope::decode(&data) else { continue };
+                let Some(payload) = verifier.open(&envelope) else { continue };
+                let Some(incoming) = AutonomousPush::decode(&payload) else { continue };
+                if incoming.push.sender != envelope.sender || incoming.push.xs.len() != n {
+                    continue;
+                }
+                if incoming.push.cycle > state.cycle {
+                    // Straggler catch-up: close our cycle now and jump.
+                    let target_cycle = incoming.push.cycle;
+                    while state.cycle < target_cycle {
+                        if let Some(report) = end_cycle(&mut state, id, n, &row, &params, &selector) {
+                            let _ = done.send(report).await;
+                            return;
+                        }
+                    }
+                }
+                if incoming.push.cycle == state.cycle {
+                    for (d, s) in state.xs.iter_mut().zip(&incoming.push.xs) { *d += s; }
+                    for (d, s) in state.ws.iter_mut().zip(&incoming.push.ws) { *d += s; }
+                    for (b, w) in state.bitmap.iter_mut().zip(&incoming.converged) { *b |= w; }
+                }
+                // Older-cycle pushes are stale: dropped.
+            }
+        }
+    }
+}
+
+fn seed_cycle(state: &mut NodeState, id: u32, n: usize, row: &[(u32, f64)], alpha: f64) {
+    let vi = state.v_own;
+    for (x, &pj) in state.xs.iter_mut().zip(&state.prior) {
+        *x = vi * alpha * pj;
+    }
+    if row.is_empty() {
+        let share = vi * (1.0 - alpha) / n as f64;
+        for x in state.xs.iter_mut() {
+            *x += share;
+        }
+    } else {
+        for &(j, s) in row {
+            state.xs[j as usize] += vi * (1.0 - alpha) * s;
+        }
+    }
+    state.ws.fill(0.0);
+    state.ws[id as usize] = 1.0;
+    state.prev_beta.fill(f64::NAN);
+    state.streak = 0;
+    state.ticks = 0;
+    state.bitmap.fill(0);
+    state.self_converged = false;
+}
+
+fn detector_fires(
+    state: &mut NodeState,
+    n: usize,
+    epsilon: f64,
+    patience: usize,
+    min_ticks: usize,
+) -> bool {
+    let mut change: f64 = 0.0;
+    let mut defined = true;
+    for j in 0..n {
+        let w = state.ws[j];
+        if w > 0.0 {
+            let beta = state.xs[j] / w;
+            let prev = state.prev_beta[j];
+            if prev.is_nan() {
+                change = f64::INFINITY;
+            } else {
+                change = change.max((beta - prev).abs() / beta.abs().max(f64::MIN_POSITIVE));
+            }
+            state.prev_beta[j] = beta;
+        } else {
+            defined = false;
+            state.prev_beta[j] = f64::NAN;
+        }
+    }
+    if defined && change <= epsilon {
+        state.streak += 1;
+    } else {
+        state.streak = 0;
+    }
+    state.streak >= patience && state.ticks >= min_ticks
+}
+
+/// Close the current cycle: extract, run the local outer δ test, pick
+/// power nodes locally, and either report (done) or seed the next cycle.
+fn end_cycle(
+    state: &mut NodeState,
+    id: u32,
+    n: usize,
+    row: &[(u32, f64)],
+    params: &Params,
+    selector: &PowerNodeSelector,
+) -> Option<NodeReport> {
+    // Sanitize: a ratio can overflow to Inf when a component's consensus
+    // weight is subnormal (repeated halving under scheduling starvation),
+    // and a forced cycle end can catch a node with no usable estimate at
+    // all — fall back to uniform rather than crash the actor.
+    let mut estimate: Vec<f64> = state
+        .xs
+        .iter()
+        .zip(&state.ws)
+        .map(|(&x, &w)| {
+            let beta = if w > 0.0 { x / w } else { 0.0 };
+            if beta.is_finite() {
+                beta.max(0.0)
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    if estimate.iter().sum::<f64>() <= 0.0 {
+        estimate.fill(1.0 / n as f64);
+    }
+    let vector = ReputationVector::from_weights(estimate).expect("sanitized estimates");
+    state.v_own = vector.score(NodeId(id)).max(f64::MIN_POSITIVE);
+    state.cycles_run += 1;
+
+    let locally_converged = state
+        .previous_estimate
+        .as_ref()
+        .map(|prev| {
+            prev.avg_relative_error(&vector).expect("same n") < params.delta
+        })
+        .unwrap_or(false);
+    state.delta_passed = state.delta_passed || locally_converged;
+    // Deterministic collective termination: every node runs the same
+    // pre-computed number of cycles (see `planned_cycles`).
+    if state.cycles_run >= planned_cycles(params) {
+        return Some(NodeReport {
+            node: NodeId(id),
+            vector,
+            cycles: state.cycles_run,
+            converged: state.delta_passed,
+        });
+    }
+    // Fully local power-node selection for the next cycle's prior.
+    let power = selector.select(&vector);
+    state.prior = gossiptrust_core::power_nodes::Prior::over_nodes(n, &power).to_dense();
+    state.previous_estimate = Some(vector);
+    state.cycle += 1;
+    seed_cycle(state, id, n, row, params.alpha);
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{InMemoryHandle, InMemoryNetwork};
+    use gossiptrust_core::matrix::TrustMatrixBuilder;
+    use gossiptrust_core::power_iter::PowerIteration;
+    use gossiptrust_core::power_nodes::Prior;
+    use std::sync::Arc;
+
+    fn authority(n: usize) -> TrustMatrix {
+        let mut b = TrustMatrixBuilder::new(n);
+        for i in 1..n {
+            b.record(NodeId::from_index(i), NodeId(0), 4.0);
+            b.record(NodeId::from_index(i), NodeId::from_index((i + 1) % n), 1.0);
+            b.record(NodeId(0), NodeId::from_index(i), 1.0);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn autonomous_push_roundtrip() {
+        let p = AutonomousPush {
+            push: Push { sender: 3, cycle: 2, xs: vec![0.1, 0.2], ws: vec![0.5, 0.0] },
+            converged: vec![0b1011],
+        };
+        assert_eq!(AutonomousPush::decode(&p.encode()).unwrap(), p);
+        assert!(AutonomousPush::decode(&[1, 2]).is_none());
+        let mut truncated = p.encode().to_vec();
+        truncated.pop();
+        assert!(AutonomousPush::decode(&truncated).is_none());
+    }
+
+    #[test]
+    fn bitmap_helpers() {
+        assert_eq!(bitmap_words(1), 1);
+        assert_eq!(bitmap_words(64), 1);
+        assert_eq!(bitmap_words(65), 2);
+        let mut bm = vec![0u64; 2];
+        assert!(!bitmap_full(&bm, 65));
+        bm[0] = u64::MAX;
+        bm[1] = 1;
+        assert!(bitmap_full(&bm, 65));
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn coordinator_free_run_matches_oracle() {
+        let n = 12;
+        let matrix = authority(n);
+        let params = Params::for_network(n);
+        let (net, receivers) = InMemoryNetwork::new(n, 2048, 0.0, 0);
+        let transports: Vec<InMemoryHandle> =
+            (0..n).map(|_| InMemoryHandle::new(Arc::clone(&net))).collect();
+        let report = run_autonomous(
+            &matrix,
+            &params,
+            AutonomousConfig { seed: 7, ..AutonomousConfig::fast_local() },
+            transports,
+            receivers,
+        )
+        .await;
+        assert_eq!(report.nodes.len(), n, "every node must report");
+        assert!(report.converged_fraction > 0.5, "fraction {}", report.converged_fraction);
+        // Rankings agree with the oracle's top choice.
+        assert_eq!(report.vector.ranking()[0], NodeId(0));
+        let oracle = PowerIteration::new(params).solve(&matrix, &Prior::uniform(n));
+        assert_eq!(oracle.vector.ranking()[0], NodeId(0));
+        // Nodes agree among themselves (same consensus).
+        for r in &report.nodes {
+            assert_eq!(r.vector.ranking()[0], NodeId(0), "node {} disagrees", r.node);
+        }
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn survives_message_loss() {
+        let n = 10;
+        let matrix = authority(n);
+        let mut params = Params::for_network(n);
+        params.delta = 5e-2; // loss raises the noise floor (Table 3 logic)
+        let (net, receivers) = InMemoryNetwork::new(n, 2048, 0.05, 3);
+        let transports: Vec<InMemoryHandle> =
+            (0..n).map(|_| InMemoryHandle::new(Arc::clone(&net))).collect();
+        let report = run_autonomous(
+            &matrix,
+            &params,
+            AutonomousConfig { seed: 9, ..AutonomousConfig::fast_local() },
+            transports,
+            receivers,
+        )
+        .await;
+        assert!(!report.nodes.is_empty());
+        assert_eq!(report.vector.ranking()[0], NodeId(0));
+    }
+}

@@ -1,0 +1,118 @@
+//! Wire format for gossip pushes.
+//!
+//! A push carries the halved `(x, w)` vector a node shares in one gossip
+//! step, tagged with the aggregation cycle so stragglers from a finished
+//! cycle cannot pollute the next one. Layout (little-endian):
+//!
+//! ```text
+//! sender: u32 | cycle: u32 | n: u32 | xs: n × f64 | ws: n × f64
+//! ```
+//!
+//! The encoded push is the *payload* of a `gossiptrust-crypto`
+//! [`SignedEnvelope`](gossiptrust_crypto::SignedEnvelope); the envelope's
+//! sender field and tag authenticate it.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// One gossip push.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Push {
+    /// Sending node.
+    pub sender: u32,
+    /// Aggregation cycle this push belongs to.
+    pub cycle: u32,
+    /// Halved weighted scores, indexed by component.
+    pub xs: Vec<f64>,
+    /// Halved consensus factors, indexed by component.
+    pub ws: Vec<f64>,
+}
+
+impl Push {
+    /// Serialize to bytes.
+    pub fn encode(&self) -> Bytes {
+        assert_eq!(self.xs.len(), self.ws.len(), "xs/ws length mismatch");
+        let n = self.xs.len();
+        let mut buf = BytesMut::with_capacity(12 + 16 * n);
+        buf.put_u32_le(self.sender);
+        buf.put_u32_le(self.cycle);
+        buf.put_u32_le(n as u32);
+        for &x in &self.xs {
+            buf.put_f64_le(x);
+        }
+        for &w in &self.ws {
+            buf.put_f64_le(w);
+        }
+        buf.freeze()
+    }
+
+    /// Deserialize; `None` on malformed input.
+    pub fn decode(mut data: &[u8]) -> Option<Push> {
+        if data.len() < 12 {
+            return None;
+        }
+        let sender = data.get_u32_le();
+        let cycle = data.get_u32_le();
+        let n = data.get_u32_le() as usize;
+        if data.len() != 16 * n {
+            return None;
+        }
+        let mut xs = Vec::with_capacity(n);
+        for _ in 0..n {
+            xs.push(data.get_f64_le());
+        }
+        let mut ws = Vec::with_capacity(n);
+        for _ in 0..n {
+            ws.push(data.get_f64_le());
+        }
+        Some(Push { sender, cycle, xs, ws })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let p = Push {
+            sender: 7,
+            cycle: 3,
+            xs: vec![0.1, 0.2, 0.0],
+            ws: vec![0.5, 0.0, 0.25],
+        };
+        let decoded = Push::decode(&p.encode()).unwrap();
+        assert_eq!(decoded, p);
+    }
+
+    #[test]
+    fn empty_vector_roundtrip() {
+        let p = Push { sender: 0, cycle: 0, xs: vec![], ws: vec![] };
+        assert_eq!(Push::decode(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(Push::decode(&[]).is_none());
+        assert!(Push::decode(&[1, 2, 3]).is_none());
+        let p = Push { sender: 1, cycle: 1, xs: vec![1.0], ws: vec![1.0] };
+        let mut raw = p.encode().to_vec();
+        raw.pop();
+        assert!(Push::decode(&raw).is_none());
+        raw.extend_from_slice(&[0; 20]);
+        assert!(Push::decode(&raw).is_none());
+    }
+
+    #[test]
+    fn preserves_special_floats() {
+        let p = Push {
+            sender: 2,
+            cycle: 9,
+            xs: vec![f64::MIN_POSITIVE, 1e300],
+            ws: vec![0.0, -0.0],
+        };
+        let d = Push::decode(&p.encode()).unwrap();
+        assert_eq!(d.xs, p.xs);
+        assert_eq!(d.ws[0].to_bits(), p.ws[0].to_bits());
+        assert_eq!(d.ws[1].to_bits(), p.ws[1].to_bits());
+    }
+}

@@ -1,0 +1,54 @@
+//! # gossiptrust-net
+//!
+//! An asynchronous GossipTrust runtime on tokio: the same Algorithm-2
+//! protocol as the lock-step engine in `gossiptrust-gossip`, but executed
+//! by real concurrent node tasks exchanging real messages.
+//!
+//! * [`codec`] — the wire format for gossip pushes (bincode-free, hand
+//!   rolled over `bytes`), carried inside signed envelopes from
+//!   `gossiptrust-crypto` so tampered or spoofed pushes are dropped.
+//! * [`transport`] — the [`transport::Transport`] abstraction plus the
+//!   in-process channel transport (with loss injection) used by tests and
+//!   benchmarks.
+//! * [`udp`] — a UDP/localhost transport: every node binds its own socket,
+//!   pushes are single datagrams.
+//! * [`node`] — the per-node actor: a tokio task with a gossip tick, merge
+//!   loop, per-cycle seeding and local convergence detection.
+//! * [`cluster`] — the experiment driver that spawns `n` node tasks plus a
+//!   coordinator implementing the cycle barrier. (A deployed system would
+//!   detect global convergence with a gossip round of its own; the
+//!   explicit barrier keeps the harness deterministic and measurable —
+//!   documented in DESIGN.md.)
+//!
+//! ```no_run
+//! use gossiptrust_core::prelude::*;
+//! use gossiptrust_net::cluster::{Cluster, NetConfig};
+//!
+//! # async fn demo() {
+//! let mut b = TrustMatrixBuilder::new(8);
+//! for i in 1..8u32 {
+//!     b.record(NodeId(i), NodeId(0), 1.0);
+//! }
+//! b.record(NodeId(0), NodeId(1), 1.0);
+//! let matrix = b.build();
+//! let report = Cluster::in_memory(NetConfig::fast_local())
+//!     .run(&matrix, &Params::for_network(8))
+//!     .await;
+//! assert!(report.converged);
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod autonomous;
+pub mod cluster;
+pub mod codec;
+pub mod node;
+pub mod transport;
+pub mod udp;
+
+pub use autonomous::{run_autonomous, AutonomousConfig, AutonomousReport};
+pub use cluster::{Cluster, ClusterReport, NetConfig};
+pub use codec::Push;
+pub use transport::{InMemoryNetwork, Transport};

@@ -1,0 +1,286 @@
+//! The per-node gossip actor.
+//!
+//! Each node runs as one tokio task owning its `(x, w)` vector. A cycle
+//! begins when the coordinator broadcasts `StartCycle` (carrying the dense
+//! mixing prior); the node seeds from **its own** previous estimate of its
+//! own score — no global state is consulted — and starts its gossip tick.
+//! Every tick it halves its vector and pushes the other half (signed) to a
+//! uniformly random peer. Received pushes are verified, checked against
+//! the current cycle, and merged. When the node's local convergence
+//! detector fires it notifies the coordinator; `EndCycle` extracts its
+//! estimate.
+
+use crate::codec::Push;
+use crate::transport::Transport;
+use bytes::Bytes;
+use gossiptrust_crypto::{IdentityKey, SignedEnvelope, Verifier};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tokio::sync::{mpsc, oneshot};
+use tokio::time::MissedTickBehavior;
+
+/// Coordinator → node control messages.
+pub enum Control {
+    /// Begin aggregation cycle `cycle` with the dense mixing prior `prior`.
+    StartCycle {
+        /// Cycle index (1-based).
+        cycle: u32,
+        /// Dense prior distribution `p` (power nodes or uniform).
+        prior: Arc<Vec<f64>>,
+    },
+    /// Stop gossiping and report the current estimate vector.
+    EndCycle {
+        /// Channel for the node's estimate (x_j/w_j per component).
+        reply: oneshot::Sender<Vec<f64>>,
+    },
+    /// Terminate the task.
+    Stop,
+}
+
+/// Shared cluster counters.
+#[derive(Debug, Default)]
+pub struct ClusterCounters {
+    /// Pushes sent by all nodes.
+    pub pushes_sent: AtomicU64,
+    /// Pushes rejected by signature verification.
+    pub auth_failures: AtomicU64,
+    /// Pushes discarded because they belonged to another cycle.
+    pub stale_pushes: AtomicU64,
+}
+
+/// Static per-node configuration.
+pub struct NodeConfig {
+    /// This node's id.
+    pub id: u32,
+    /// Network size.
+    pub n: usize,
+    /// Greedy factor `α`.
+    pub alpha: f64,
+    /// Gossip threshold `ε` (relative change).
+    pub epsilon: f64,
+    /// Consecutive calm ticks required.
+    pub patience: usize,
+    /// Minimum ticks before convergence may be declared.
+    pub min_ticks: usize,
+    /// Tick budget per cycle (after which the node reports convergence
+    /// regardless, so a pathological cycle cannot hang the cluster).
+    pub max_ticks: usize,
+    /// Gossip tick period.
+    pub tick: Duration,
+    /// This node's normalized trust row `(j, s_ij)`; empty = dangling
+    /// (treated as uniform, like everywhere else in the workspace).
+    pub row: Vec<(u32, f64)>,
+    /// Identity signing key.
+    pub key: IdentityKey,
+    /// Verification capability.
+    pub verifier: Verifier,
+    /// RNG seed (combined with the id).
+    pub seed: u64,
+}
+
+struct NodeState {
+    xs: Vec<f64>,
+    ws: Vec<f64>,
+    prev_beta: Vec<f64>,
+    streak: usize,
+    ticks: usize,
+    cycle: u32,
+    v_own: f64,
+    ticking: bool,
+    notified: bool,
+}
+
+impl NodeState {
+    fn extract(&self) -> Vec<f64> {
+        self.xs
+            .iter()
+            .zip(&self.ws)
+            .map(|(&x, &w)| if w > 0.0 { x / w } else { 0.0 })
+            .collect()
+    }
+}
+
+/// Run one node actor until `Stop`.
+pub async fn run_node<T: Transport>(
+    config: NodeConfig,
+    transport: T,
+    mut net_rx: mpsc::Receiver<Bytes>,
+    mut ctrl_rx: mpsc::Receiver<Control>,
+    converged_tx: mpsc::Sender<(u32, u32)>,
+    counters: Arc<ClusterCounters>,
+) {
+    let n = config.n;
+    let mut rng = StdRng::seed_from_u64(config.seed ^ (config.id as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    let mut state = NodeState {
+        xs: vec![0.0; n],
+        ws: vec![0.0; n],
+        prev_beta: vec![f64::NAN; n],
+        streak: 0,
+        ticks: 0,
+        cycle: 0,
+        v_own: 1.0 / n as f64,
+        ticking: false,
+        notified: false,
+    };
+    let mut interval = tokio::time::interval(config.tick);
+    interval.set_missed_tick_behavior(MissedTickBehavior::Delay);
+
+    loop {
+        tokio::select! {
+            ctrl = ctrl_rx.recv() => {
+                match ctrl {
+                    Some(Control::StartCycle { cycle, prior }) => {
+                        seed(&mut state, &config, &prior, cycle);
+                        interval.reset();
+                    }
+                    Some(Control::EndCycle { reply }) => {
+                        state.ticking = false;
+                        let estimate = state.extract();
+                        state.v_own = estimate[config.id as usize].max(f64::MIN_POSITIVE);
+                        let _ = reply.send(estimate);
+                    }
+                    Some(Control::Stop) | None => break,
+                }
+            }
+            _ = interval.tick(), if state.ticking => {
+                tick(&mut state, &config, &transport, &mut rng, &counters).await;
+                if converged_now(&mut state, &config) && !state.notified {
+                    state.notified = true;
+                    let _ = converged_tx.send((config.id, state.cycle)).await;
+                }
+            }
+            msg = net_rx.recv() => {
+                match msg {
+                    Some(data) => merge(&mut state, &config, &data, &counters),
+                    None => break,
+                }
+            }
+        }
+    }
+}
+
+fn seed(state: &mut NodeState, config: &NodeConfig, prior: &[f64], cycle: u32) {
+    let n = config.n;
+    let vi = state.v_own;
+    for (x, &pj) in state.xs.iter_mut().zip(prior) {
+        *x = vi * config.alpha * pj;
+    }
+    if config.row.is_empty() {
+        let share = vi * (1.0 - config.alpha) / n as f64;
+        for x in state.xs.iter_mut() {
+            *x += share;
+        }
+    } else {
+        for &(j, s) in &config.row {
+            state.xs[j as usize] += vi * (1.0 - config.alpha) * s;
+        }
+    }
+    state.ws.fill(0.0);
+    state.ws[config.id as usize] = 1.0;
+    state.prev_beta.fill(f64::NAN);
+    state.streak = 0;
+    state.ticks = 0;
+    state.cycle = cycle;
+    state.ticking = true;
+    state.notified = false;
+}
+
+async fn tick<T: Transport>(
+    state: &mut NodeState,
+    config: &NodeConfig,
+    transport: &T,
+    rng: &mut StdRng,
+    counters: &ClusterCounters,
+) {
+    let n = config.n;
+    if n < 2 {
+        return;
+    }
+    for x in state.xs.iter_mut() {
+        *x *= 0.5;
+    }
+    for w in state.ws.iter_mut() {
+        *w *= 0.5;
+    }
+    let raw = rng.random_range(0..n - 1);
+    let target = if raw >= config.id as usize { raw + 1 } else { raw } as u32;
+    let push = Push {
+        sender: config.id,
+        cycle: state.cycle,
+        xs: state.xs.clone(),
+        ws: state.ws.clone(),
+    };
+    let envelope = config.key.seal(&push.encode());
+    counters.pushes_sent.fetch_add(1, Ordering::Relaxed);
+    transport.send(target, envelope.encode()).await;
+    state.ticks += 1;
+}
+
+fn merge(state: &mut NodeState, config: &NodeConfig, data: &[u8], counters: &ClusterCounters) {
+    let Some(envelope) = SignedEnvelope::decode(data) else {
+        counters.auth_failures.fetch_add(1, Ordering::Relaxed);
+        return;
+    };
+    let Some(payload) = config.verifier.open(&envelope) else {
+        counters.auth_failures.fetch_add(1, Ordering::Relaxed);
+        return;
+    };
+    let Some(push) = Push::decode(&payload) else {
+        counters.auth_failures.fetch_add(1, Ordering::Relaxed);
+        return;
+    };
+    if push.sender != envelope.sender {
+        // Payload claims a different sender than the signature: spoofing.
+        counters.auth_failures.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    if push.cycle != state.cycle || !state.ticking {
+        counters.stale_pushes.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    if push.xs.len() != state.xs.len() {
+        counters.auth_failures.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    for (d, s) in state.xs.iter_mut().zip(&push.xs) {
+        *d += s;
+    }
+    for (d, s) in state.ws.iter_mut().zip(&push.ws) {
+        *d += s;
+    }
+}
+
+fn converged_now(state: &mut NodeState, config: &NodeConfig) -> bool {
+    // Budget exhaustion forces a report so the cluster barrier can't hang.
+    if state.ticks >= config.max_ticks {
+        return true;
+    }
+    let mut max_change: f64 = 0.0;
+    let mut defined = true;
+    for j in 0..config.n {
+        let w = state.ws[j];
+        if w > 0.0 {
+            let beta = state.xs[j] / w;
+            let prev = state.prev_beta[j];
+            if prev.is_nan() {
+                max_change = f64::INFINITY;
+            } else {
+                let denom = beta.abs().max(f64::MIN_POSITIVE);
+                max_change = max_change.max((beta - prev).abs() / denom);
+            }
+            state.prev_beta[j] = beta;
+        } else {
+            defined = false;
+            state.prev_beta[j] = f64::NAN;
+        }
+    }
+    if defined && max_change <= config.epsilon {
+        state.streak += 1;
+    } else {
+        state.streak = 0;
+    }
+    state.streak >= config.patience && state.ticks >= config.min_ticks
+}

@@ -1,0 +1,102 @@
+//! UDP/localhost transport: one socket per node, one datagram per push.
+//!
+//! Demonstrates the protocol over a real lossy, reordering medium. Each
+//! node binds an ephemeral `127.0.0.1` socket; the address book is shared
+//! up front (a deployed unstructured overlay would learn addresses from
+//! its bootstrap/neighbor exchange).
+
+use crate::transport::Transport;
+use bytes::Bytes;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use tokio::net::UdpSocket;
+use tokio::sync::mpsc;
+
+/// Maximum datagram we send (safe for loopback; vectors for n ≲ 4000 fit).
+pub const MAX_DATAGRAM: usize = 65_000;
+
+/// A UDP endpoint bound for one node.
+pub struct UdpEndpoint {
+    socket: Arc<UdpSocket>,
+    peers: Arc<Vec<SocketAddr>>,
+}
+
+impl UdpEndpoint {
+    /// Bind `n` loopback endpoints and spawn their receive loops. Returns
+    /// per-node `(transport handle, datagram receiver)` pairs.
+    pub async fn bind_cluster(n: usize) -> Vec<(UdpEndpoint, mpsc::Receiver<Bytes>)> {
+        let mut sockets = Vec::with_capacity(n);
+        let mut addrs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let socket = UdpSocket::bind("127.0.0.1:0").await.expect("bind loopback");
+            addrs.push(socket.local_addr().expect("local addr"));
+            sockets.push(Arc::new(socket));
+        }
+        let peers = Arc::new(addrs);
+        let mut out = Vec::with_capacity(n);
+        for socket in sockets {
+            let (tx, rx) = mpsc::channel::<Bytes>(1024);
+            // Receive loop: datagrams to bytes. Ends when the endpoint (and
+            // with it the socket's other Arc clone) is dropped and recv
+            // errors, or when the receiver side closes.
+            let recv_socket = Arc::clone(&socket);
+            tokio::spawn(async move {
+                let mut buf = vec![0u8; MAX_DATAGRAM];
+                while let Ok((len, _)) = recv_socket.recv_from(&mut buf).await {
+                    if tx.send(Bytes::copy_from_slice(&buf[..len])).await.is_err() {
+                        break;
+                    }
+                }
+            });
+            out.push((UdpEndpoint { socket, peers: Arc::clone(&peers) }, rx));
+        }
+        out
+    }
+
+    /// This endpoint's bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.socket.local_addr().expect("local addr")
+    }
+}
+
+impl Transport for UdpEndpoint {
+    async fn send(&self, to: u32, data: Bytes) {
+        debug_assert!(data.len() <= MAX_DATAGRAM, "datagram too large: {}", data.len());
+        // Best-effort: send errors (e.g. buffer full) are silent drops,
+        // like real UDP.
+        let _ = self.socket.send_to(&data, self.peers[to as usize]).await;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[tokio::test]
+    async fn datagrams_route_between_endpoints() {
+        let mut cluster = UdpEndpoint::bind_cluster(3).await;
+        let (ep2, mut rx2) = cluster.remove(2);
+        let (ep0, _rx0) = cluster.remove(0);
+        assert_ne!(ep0.local_addr(), ep2.local_addr());
+        ep0.send(2, Bytes::from_static(b"hello")).await;
+        let got = tokio::time::timeout(std::time::Duration::from_secs(2), rx2.recv())
+            .await
+            .expect("timely delivery")
+            .expect("channel open");
+        assert_eq!(got, Bytes::from_static(b"hello"));
+    }
+
+    #[tokio::test]
+    async fn large_payload_fits() {
+        let mut cluster = UdpEndpoint::bind_cluster(2).await;
+        let (_ep1, mut rx1) = cluster.remove(1);
+        let (ep0, _rx0) = cluster.remove(0);
+        let payload = Bytes::from(vec![7u8; 32_000]);
+        ep0.send(1, payload.clone()).await;
+        let got = tokio::time::timeout(std::time::Duration::from_secs(2), rx1.recv())
+            .await
+            .expect("timely delivery")
+            .expect("channel open");
+        assert_eq!(got, payload);
+    }
+}

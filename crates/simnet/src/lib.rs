@@ -1,0 +1,36 @@
+//! # gossiptrust-simnet
+//!
+//! A discrete-event P2P network simulator — the substrate behind the
+//! paper's evaluation ("We evaluate GossipTrust using our own discrete
+//! event driven simulator", §6.1).
+//!
+//! Components:
+//!
+//! * [`event`] — deterministic time-ordered event queue.
+//! * [`topology`] — unstructured Gnutella-like overlay graphs (random
+//!   `k`-out and power-law variants) with join/leave support.
+//! * [`link`] — link model: latency sampling and message drop.
+//! * [`churn`] — exponential session/offline churn process.
+//! * [`sim`] — an asynchronous, event-driven execution of the GossipTrust
+//!   push-sum protocol over the modeled network, used by the
+//!   fault-tolerance and peer-dynamics experiments. (The lock-step
+//!   synchronous engine used for the headline numbers lives in
+//!   `gossiptrust-gossip`; this simulator demonstrates the same protocol
+//!   under asynchrony, latency jitter, loss and churn.)
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod event;
+pub mod link;
+pub mod metrics;
+pub mod sim;
+pub mod topology;
+
+pub use churn::ChurnModel;
+pub use event::{EventQueue, SimTime};
+pub use link::LinkModel;
+pub use metrics::SimMetrics;
+pub use sim::{AsyncGossipSim, SimConfig, SimReport, TargetScope};
+pub use topology::Overlay;

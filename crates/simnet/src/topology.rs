@@ -1,0 +1,300 @@
+//! Unstructured overlay topologies (Gnutella-like flat networks).
+//!
+//! The paper simulates "a Gnutella-like flat unstructured network". Two
+//! generators are provided:
+//!
+//! * [`Overlay::random_k_out`] — every node opens `k` connections to
+//!   uniformly random peers; edges are symmetric. This matches early
+//!   Gnutella clients with a fixed connection budget.
+//! * [`Overlay::power_law`] — preferential-attachment (Barabási–Albert
+//!   style) growth producing the heavy-tailed degree distribution measured
+//!   in deployed Gnutella networks.
+//!
+//! Nodes can leave and (re)join, which the churn model drives.
+
+use gossiptrust_core::id::NodeId;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// An undirected overlay graph over nodes `0..n`, with per-node liveness.
+#[derive(Clone, Debug)]
+pub struct Overlay {
+    adj: Vec<Vec<u32>>,
+    online: Vec<bool>,
+}
+
+impl Overlay {
+    /// Empty overlay of `n` isolated, online nodes.
+    pub fn empty(n: usize) -> Self {
+        Overlay { adj: vec![Vec::new(); n], online: vec![true; n] }
+    }
+
+    /// Random `k`-out overlay: each node connects to `k` distinct random
+    /// peers; the union of links is kept symmetric.
+    pub fn random_k_out<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Self {
+        assert!(n >= 2, "need at least two nodes");
+        let k = k.min(n - 1).max(1);
+        let mut overlay = Overlay::empty(n);
+        for i in 0..n {
+            let mut picked = 0;
+            let mut guard = 0;
+            while picked < k && guard < 50 * k {
+                guard += 1;
+                let raw = rng.random_range(0..n - 1);
+                let j = if raw >= i { raw + 1 } else { raw };
+                if overlay.connect(NodeId::from_index(i), NodeId::from_index(j)) {
+                    picked += 1;
+                }
+            }
+        }
+        overlay
+    }
+
+    /// Preferential-attachment overlay: nodes join one by one, each linking
+    /// to `m` existing nodes chosen with probability proportional to their
+    /// current degree (+1 smoothing). Produces a power-law-ish degree tail.
+    pub fn power_law<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Self {
+        assert!(n >= 2, "need at least two nodes");
+        let m = m.max(1);
+        let mut overlay = Overlay::empty(n);
+        // Repeated-endpoint list: each edge endpoint appears once, so
+        // sampling uniformly from it is degree-proportional.
+        let mut endpoints: Vec<u32> = vec![0];
+        for i in 1..n {
+            let links = m.min(i);
+            let mut picked = 0;
+            let mut guard = 0;
+            while picked < links && guard < 50 * links {
+                guard += 1;
+                // +1 smoothing: with small probability pick uniformly.
+                let j = if rng.random::<f64>() < 0.1 {
+                    rng.random_range(0..i) as u32
+                } else {
+                    endpoints[rng.random_range(0..endpoints.len())]
+                };
+                if overlay.connect(NodeId::from_index(i), NodeId(j)) {
+                    endpoints.push(j);
+                    endpoints.push(i as u32);
+                    picked += 1;
+                }
+            }
+        }
+        overlay
+    }
+
+    /// Number of nodes (online or not).
+    pub fn n(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Add a symmetric edge. Returns `false` for self-loops and duplicates.
+    pub fn connect(&mut self, a: NodeId, b: NodeId) -> bool {
+        if a == b {
+            return false;
+        }
+        if self.adj[a.index()].contains(&b.0) {
+            return false;
+        }
+        self.adj[a.index()].push(b.0);
+        self.adj[b.index()].push(a.0);
+        true
+    }
+
+    /// Neighbors of `node` (including offline ones; filter with
+    /// [`online_neighbors`](Self::online_neighbors) when routing).
+    pub fn neighbors(&self, node: NodeId) -> &[u32] {
+        &self.adj[node.index()]
+    }
+
+    /// Online neighbors of `node`.
+    pub fn online_neighbors(&self, node: NodeId) -> Vec<NodeId> {
+        self.adj[node.index()]
+            .iter()
+            .filter(|&&j| self.online[j as usize])
+            .map(|&j| NodeId(j))
+            .collect()
+    }
+
+    /// Degree of `node`.
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.adj[node.index()].len()
+    }
+
+    /// Whether `node` is currently online.
+    pub fn is_online(&self, node: NodeId) -> bool {
+        self.online[node.index()]
+    }
+
+    /// Take `node` offline (its edges persist for when it returns).
+    pub fn go_offline(&mut self, node: NodeId) {
+        self.online[node.index()] = false;
+    }
+
+    /// Bring `node` back online.
+    pub fn go_online(&mut self, node: NodeId) {
+        self.online[node.index()] = true;
+    }
+
+    /// Ids of all online nodes.
+    pub fn online_nodes(&self) -> Vec<NodeId> {
+        (0..self.n())
+            .filter(|&i| self.online[i])
+            .map(NodeId::from_index)
+            .collect()
+    }
+
+    /// A uniformly random *online* node different from `not` (if possible).
+    pub fn random_online_peer<R: Rng + ?Sized>(&self, not: NodeId, rng: &mut R) -> Option<NodeId> {
+        let candidates: Vec<NodeId> = (0..self.n())
+            .filter(|&i| self.online[i] && i != not.index())
+            .map(NodeId::from_index)
+            .collect();
+        if candidates.is_empty() {
+            None
+        } else {
+            Some(candidates[rng.random_range(0..candidates.len())])
+        }
+    }
+
+    /// BFS connectivity over online nodes starting anywhere.
+    pub fn is_connected(&self) -> bool {
+        let online: Vec<usize> = (0..self.n()).filter(|&i| self.online[i]).collect();
+        let Some(&start) = online.first() else {
+            return true; // vacuously
+        };
+        let mut seen = vec![false; self.n()];
+        seen[start] = true;
+        let mut q = VecDeque::from([start]);
+        let mut count = 1;
+        while let Some(u) = q.pop_front() {
+            for &v in &self.adj[u] {
+                let v = v as usize;
+                if self.online[v] && !seen[v] {
+                    seen[v] = true;
+                    count += 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        count == online.len()
+    }
+
+    /// BFS hop distances over online nodes from `start` (`None` where
+    /// unreachable or offline).
+    pub fn hop_distances(&self, start: NodeId) -> Vec<Option<usize>> {
+        let mut dist = vec![None; self.n()];
+        if !self.online[start.index()] {
+            return dist;
+        }
+        dist[start.index()] = Some(0);
+        let mut q = VecDeque::from([start.index()]);
+        while let Some(u) = q.pop_front() {
+            let du = dist[u].expect("visited");
+            for &v in &self.adj[u] {
+                let v = v as usize;
+                if self.online[v] && dist[v].is_none() {
+                    dist[v] = Some(du + 1);
+                    q.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn k_out_is_symmetric_and_simple() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let o = Overlay::random_k_out(50, 4, &mut rng);
+        for i in 0..50 {
+            let id = NodeId(i);
+            for &j in o.neighbors(id) {
+                assert_ne!(j, i, "self loop at {i}");
+                assert!(o.neighbors(NodeId(j)).contains(&i), "asymmetric edge {i}-{j}");
+            }
+            // No duplicates.
+            let mut ns = o.neighbors(id).to_vec();
+            ns.sort_unstable();
+            ns.dedup();
+            assert_eq!(ns.len(), o.neighbors(id).len());
+            assert!(o.degree(id) >= 4, "degree {} at {i}", o.degree(id));
+        }
+    }
+
+    #[test]
+    fn k_out_is_connected_for_reasonable_k() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let o = Overlay::random_k_out(200, 4, &mut rng);
+        assert!(o.is_connected());
+    }
+
+    #[test]
+    fn power_law_has_skewed_degrees() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let o = Overlay::power_law(500, 3, &mut rng);
+        let mut degrees: Vec<usize> = (0..500).map(|i| o.degree(NodeId(i))).collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        let total: usize = degrees.iter().sum();
+        let top10: usize = degrees[..50].iter().sum();
+        assert!(
+            top10 as f64 / total as f64 > 0.2,
+            "top-10% degree share {}",
+            top10 as f64 / total as f64
+        );
+        assert!(o.is_connected());
+    }
+
+    #[test]
+    fn offline_nodes_break_paths() {
+        let mut o = Overlay::empty(3);
+        o.connect(NodeId(0), NodeId(1));
+        o.connect(NodeId(1), NodeId(2));
+        assert!(o.is_connected());
+        o.go_offline(NodeId(1));
+        assert!(!o.is_connected());
+        assert_eq!(o.online_nodes(), vec![NodeId(0), NodeId(2)]);
+        assert!(o.online_neighbors(NodeId(0)).is_empty());
+        o.go_online(NodeId(1));
+        assert!(o.is_connected());
+    }
+
+    #[test]
+    fn connect_rejects_loops_and_duplicates() {
+        let mut o = Overlay::empty(2);
+        assert!(!o.connect(NodeId(0), NodeId(0)));
+        assert!(o.connect(NodeId(0), NodeId(1)));
+        assert!(!o.connect(NodeId(1), NodeId(0)));
+        assert_eq!(o.degree(NodeId(0)), 1);
+    }
+
+    #[test]
+    fn hop_distances_are_bfs() {
+        let mut o = Overlay::empty(4);
+        o.connect(NodeId(0), NodeId(1));
+        o.connect(NodeId(1), NodeId(2));
+        let d = o.hop_distances(NodeId(0));
+        assert_eq!(d[0], Some(0));
+        assert_eq!(d[1], Some(1));
+        assert_eq!(d[2], Some(2));
+        assert_eq!(d[3], None);
+    }
+
+    #[test]
+    fn random_online_peer_excludes_self_and_offline() {
+        let mut o = Overlay::empty(3);
+        o.go_offline(NodeId(2));
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            let p = o.random_online_peer(NodeId(0), &mut rng).unwrap();
+            assert_eq!(p, NodeId(1));
+        }
+        o.go_offline(NodeId(1));
+        assert_eq!(o.random_online_peer(NodeId(0), &mut rng), None);
+    }
+}

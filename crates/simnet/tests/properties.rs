@@ -1,0 +1,127 @@
+//! Property-based tests for the discrete-event substrate.
+
+use gossiptrust_core::id::NodeId;
+use gossiptrust_simnet::{ChurnModel, EventQueue, LinkModel, Overlay};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// The event queue dequeues in nondecreasing time order with FIFO ties,
+    /// for any schedule built at time zero.
+    #[test]
+    fn event_queue_is_time_ordered(times in proptest::collection::vec(0u64..10_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(t, i);
+        }
+        let mut last_time = 0u64;
+        let mut seen_at_time: Vec<usize> = Vec::new();
+        let mut count = 0;
+        while let Some((t, idx)) = q.pop() {
+            count += 1;
+            prop_assert!(t >= last_time, "time went backwards");
+            if t != last_time {
+                seen_at_time.clear();
+                last_time = t;
+            }
+            // FIFO within a timestamp: payload indices increase.
+            if let Some(&prev) = seen_at_time.last() {
+                prop_assert!(idx > prev, "tie broken out of order");
+            }
+            seen_at_time.push(idx);
+            prop_assert_eq!(times[idx], t, "payload matched to wrong time");
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    /// Random k-out overlays are simple (no loops/duplicates), symmetric,
+    /// and respect the minimum degree.
+    #[test]
+    fn k_out_overlay_invariants(n in 4usize..80, k in 1usize..6, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let o = Overlay::random_k_out(n, k, &mut rng);
+        for i in 0..n {
+            let id = NodeId::from_index(i);
+            let mut ns = o.neighbors(id).to_vec();
+            let len = ns.len();
+            ns.sort_unstable();
+            ns.dedup();
+            prop_assert_eq!(ns.len(), len, "duplicate edge at {}", i);
+            prop_assert!(!ns.contains(&(i as u32)), "self loop at {}", i);
+            for &j in &ns {
+                prop_assert!(o.neighbors(NodeId(j)).contains(&(i as u32)), "asymmetric {}-{}", i, j);
+            }
+            prop_assert!(o.degree(id) >= k.min(n - 1), "degree {} < k at {}", o.degree(id), i);
+        }
+    }
+
+    /// Taking nodes offline only ever shrinks the online-neighbor sets and
+    /// the online-node list; bringing them back restores both exactly.
+    #[test]
+    fn offline_online_roundtrip(
+        n in 4usize..50,
+        seed in 0u64..500,
+        down in proptest::collection::hash_set(0usize..50, 0..10),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut o = Overlay::random_k_out(n, 3, &mut rng);
+        let before_online = o.online_nodes();
+        let before_neighbors: Vec<Vec<NodeId>> =
+            (0..n).map(|i| o.online_neighbors(NodeId::from_index(i))).collect();
+        let down: Vec<usize> = down.into_iter().filter(|&d| d < n).collect();
+        for &d in &down {
+            o.go_offline(NodeId::from_index(d));
+        }
+        for i in 0..n {
+            let after = o.online_neighbors(NodeId::from_index(i));
+            prop_assert!(after.len() <= before_neighbors[i].len());
+            for id in &after {
+                prop_assert!(before_neighbors[i].contains(id));
+            }
+        }
+        for &d in &down {
+            o.go_online(NodeId::from_index(d));
+        }
+        prop_assert_eq!(o.online_nodes(), before_online);
+        for i in 0..n {
+            prop_assert_eq!(
+                o.online_neighbors(NodeId::from_index(i)).len(),
+                before_neighbors[i].len()
+            );
+        }
+    }
+
+    /// Link samples always land within the configured latency window, and
+    /// the empirical drop rate tracks the configured one.
+    #[test]
+    fn link_model_bounds(lo in 1u64..1000, span in 0u64..1000, p in 0.0f64..0.9, seed in 0u64..200) {
+        let hi = lo + span;
+        let link = LinkModel { min_latency: lo, max_latency: hi, drop_rate: p };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut drops = 0usize;
+        let trials = 2_000;
+        for _ in 0..trials {
+            match link.sample(&mut rng) {
+                Some(d) => prop_assert!((lo..=hi).contains(&d)),
+                None => drops += 1,
+            }
+        }
+        let emp = drops as f64 / trials as f64;
+        prop_assert!((emp - p).abs() < 0.08, "drop rate {} vs configured {}", emp, p);
+    }
+
+    /// Churn availability equals session / (session + offline), and all
+    /// samples are positive.
+    #[test]
+    fn churn_availability(sess in 1u64..10_000_000, off in 1u64..10_000_000, seed in 0u64..100) {
+        let c = ChurnModel::new(sess, off);
+        let expect = sess as f64 / (sess + off) as f64;
+        prop_assert!((c.availability() - expect).abs() < 1e-12);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            prop_assert!(c.sample_session(&mut rng) >= 1);
+            prop_assert!(c.sample_offline(&mut rng) >= 1);
+        }
+    }
+}

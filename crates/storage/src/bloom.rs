@@ -1,0 +1,199 @@
+//! A from-scratch Bloom filter.
+//!
+//! Uses the standard Kirsch–Mitzenmacher double-hashing construction: two
+//! independent 64-bit hashes `h1`, `h2` derived from one splitmix pass, and
+//! probe positions `h1 + i·h2 (mod m)` for `i = 0..k`.
+
+/// Splitmix64 mixer (independent constant from the DHT's).
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// A fixed-size Bloom filter over `u64` keys.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    m: usize,
+    k: u32,
+    insertions: usize,
+}
+
+impl BloomFilter {
+    /// Filter with `m` bits and `k` hash probes.
+    ///
+    /// # Panics
+    /// Panics if `m == 0` or `k == 0`.
+    pub fn new(m: usize, k: u32) -> Self {
+        assert!(m > 0, "need at least one bit");
+        assert!(k > 0, "need at least one probe");
+        BloomFilter { bits: vec![0u64; m.div_ceil(64)], m, k, insertions: 0 }
+    }
+
+    /// Filter sized for `n` expected items at false-positive rate `p`,
+    /// using the optimal `m = −n·ln p / (ln 2)²` and `k = (m/n)·ln 2`.
+    pub fn with_rate(n: usize, p: f64) -> Self {
+        assert!(n > 0, "need at least one expected item");
+        assert!((0.0..1.0).contains(&p) && p > 0.0, "p must be in (0,1)");
+        let ln2 = std::f64::consts::LN_2;
+        let m = (-(n as f64) * p.ln() / (ln2 * ln2)).ceil().max(64.0) as usize;
+        let k = ((m as f64 / n as f64) * ln2).round().max(1.0) as u32;
+        BloomFilter::new(m, k)
+    }
+
+    /// Number of bits `m`.
+    pub fn bits(&self) -> usize {
+        self.m
+    }
+
+    /// Number of probes `k`.
+    pub fn probes(&self) -> u32 {
+        self.k
+    }
+
+    /// Items inserted so far.
+    pub fn insertions(&self) -> usize {
+        self.insertions
+    }
+
+    /// Storage footprint in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.bits.len() * 8
+    }
+
+    #[inline]
+    fn probe_positions(&self, key: u64) -> impl Iterator<Item = usize> + '_ {
+        let h = mix(key ^ 0x6A09E667F3BCC909);
+        let h1 = h as u32 as u64;
+        let h2 = (h >> 32) | 1; // odd, so it cycles the whole ring
+        let m = self.m as u64;
+        (0..self.k as u64).map(move |i| (h1.wrapping_add(i.wrapping_mul(h2)) % m) as usize)
+    }
+
+    /// Insert `key`.
+    pub fn insert(&mut self, key: u64) {
+        let positions: Vec<usize> = self.probe_positions(key).collect();
+        for pos in positions {
+            self.bits[pos / 64] |= 1u64 << (pos % 64);
+        }
+        self.insertions += 1;
+    }
+
+    /// Membership probe: `false` is definite, `true` may be a false
+    /// positive.
+    pub fn contains(&self, key: u64) -> bool {
+        self.probe_positions(key)
+            .all(|pos| self.bits[pos / 64] & (1u64 << (pos % 64)) != 0)
+    }
+
+    /// Expected false-positive rate at the current load:
+    /// `(1 − e^(−k·n/m))^k`.
+    pub fn expected_fp_rate(&self) -> f64 {
+        let exponent = -(self.k as f64) * (self.insertions as f64) / (self.m as f64);
+        (1.0 - exponent.exp()).powi(self.k as i32)
+    }
+
+    /// Clear all bits.
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+        self.insertions = 0;
+    }
+
+    /// Union with another filter of identical geometry.
+    ///
+    /// # Panics
+    /// Panics on geometry mismatch.
+    pub fn union(&mut self, other: &BloomFilter) {
+        assert_eq!(self.m, other.m, "bit-width mismatch");
+        assert_eq!(self.k, other.k, "probe-count mismatch");
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+        self.insertions += other.insertions;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives_ever() {
+        let mut f = BloomFilter::with_rate(1000, 0.01);
+        for key in 0..1000u64 {
+            f.insert(key);
+        }
+        for key in 0..1000u64 {
+            assert!(f.contains(key), "false negative for {key}");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_near_design_point() {
+        let mut f = BloomFilter::with_rate(2000, 0.01);
+        for key in 0..2000u64 {
+            f.insert(key);
+        }
+        let trials = 100_000u64;
+        let fps = (10_000..10_000 + trials).filter(|&k| f.contains(k)).count();
+        let rate = fps as f64 / trials as f64;
+        assert!(rate < 0.03, "fp rate {rate} far above design 0.01");
+        // And the analytic estimate agrees with the design point.
+        assert!((f.expected_fp_rate() - 0.01).abs() < 0.01);
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing() {
+        let f = BloomFilter::new(1024, 4);
+        for key in 0..1000u64 {
+            assert!(!f.contains(key));
+        }
+        assert_eq!(f.expected_fp_rate(), 0.0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut f = BloomFilter::new(256, 3);
+        f.insert(42);
+        assert!(f.contains(42));
+        f.clear();
+        assert!(!f.contains(42));
+        assert_eq!(f.insertions(), 0);
+    }
+
+    #[test]
+    fn union_merges_membership() {
+        let mut a = BloomFilter::new(512, 4);
+        let mut b = BloomFilter::new(512, 4);
+        a.insert(1);
+        b.insert(2);
+        a.union(&b);
+        assert!(a.contains(1) && a.contains(2));
+        assert_eq!(a.insertions(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bit-width mismatch")]
+    fn union_rejects_geometry_mismatch() {
+        let mut a = BloomFilter::new(512, 4);
+        let b = BloomFilter::new(256, 4);
+        a.union(&b);
+    }
+
+    #[test]
+    fn with_rate_sizes_sensibly() {
+        let f = BloomFilter::with_rate(1000, 0.01);
+        // Optimal m ≈ 9.6 bits/item, k ≈ 7.
+        assert!((9_000..11_000).contains(&f.bits()), "m = {}", f.bits());
+        assert!((6..=8).contains(&f.probes()), "k = {}", f.probes());
+    }
+
+    #[test]
+    fn byte_size_is_much_smaller_than_exact_table() {
+        // 1000 peers at 1% fp: ~1.2 KB vs 12 KB of (u32, f64) pairs.
+        let f = BloomFilter::with_rate(1000, 0.01);
+        assert!(f.byte_size() < 1000 * 12 / 5);
+    }
+}

@@ -1,0 +1,170 @@
+//! Counting Bloom filter — membership with deletion.
+//!
+//! Plain Bloom filters cannot forget: once a peer's id is folded into a
+//! rank bucket it stays there until the whole bucket is rebuilt. Under
+//! churn (peers leaving for good) and rank *demotions* (a peer sliding to
+//! a worse bucket after an aggregation round), rebuild-the-world is
+//! wasteful. The classic fix is a counting filter: 4-bit counters instead
+//! of bits, increment on insert, decrement on remove.
+//!
+//! Counters saturate at 15 and saturated counters are never decremented
+//! (the standard safety rule: decrementing a saturated counter could
+//! produce false negatives).
+
+/// Splitmix64 (same probe construction as the plain filter).
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+const COUNTER_MAX: u8 = 15;
+
+/// A counting Bloom filter with 4-bit counters (stored one per byte for
+/// simplicity of access; the storage ablation accounts for the nibble
+/// packing a production build would use).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CountingBloomFilter {
+    counters: Vec<u8>,
+    k: u32,
+}
+
+impl CountingBloomFilter {
+    /// Filter with `m` counters and `k` probes.
+    pub fn new(m: usize, k: u32) -> Self {
+        assert!(m > 0, "need at least one counter");
+        assert!(k > 0, "need at least one probe");
+        CountingBloomFilter { counters: vec![0; m], k }
+    }
+
+    /// Filter sized like [`crate::BloomFilter::with_rate`].
+    pub fn with_rate(n: usize, p: f64) -> Self {
+        assert!(n > 0, "need at least one expected item");
+        assert!(p > 0.0 && p < 1.0, "p must be in (0,1)");
+        let ln2 = std::f64::consts::LN_2;
+        let m = (-(n as f64) * p.ln() / (ln2 * ln2)).ceil().max(64.0) as usize;
+        let k = ((m as f64 / n as f64) * ln2).round().max(1.0) as u32;
+        CountingBloomFilter::new(m, k)
+    }
+
+    /// Number of counters.
+    pub fn counters(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Effective storage in bytes assuming 4-bit packing.
+    pub fn packed_byte_size(&self) -> usize {
+        self.counters.len().div_ceil(2)
+    }
+
+    fn positions(&self, key: u64) -> impl Iterator<Item = usize> + '_ {
+        let h = mix(key ^ 0xBB67AE8584CAA73B);
+        let h1 = h as u32 as u64;
+        let h2 = (h >> 32) | 1;
+        let m = self.counters.len() as u64;
+        (0..self.k as u64).map(move |i| (h1.wrapping_add(i.wrapping_mul(h2)) % m) as usize)
+    }
+
+    /// Insert `key` (counters saturate at 15).
+    pub fn insert(&mut self, key: u64) {
+        let positions: Vec<usize> = self.positions(key).collect();
+        for pos in positions {
+            let c = &mut self.counters[pos];
+            if *c < COUNTER_MAX {
+                *c += 1;
+            }
+        }
+    }
+
+    /// Remove `key`. Only safe for keys actually inserted (removing a
+    /// never-inserted key can create false negatives for others — same
+    /// contract as every counting filter). Saturated counters stay put.
+    pub fn remove(&mut self, key: u64) {
+        let positions: Vec<usize> = self.positions(key).collect();
+        for pos in positions {
+            let c = &mut self.counters[pos];
+            if *c > 0 && *c < COUNTER_MAX {
+                *c -= 1;
+            }
+        }
+    }
+
+    /// Membership probe (`false` definite, `true` maybe).
+    pub fn contains(&self, key: u64) -> bool {
+        self.positions(key).all(|pos| self.counters[pos] > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_then_contains() {
+        let mut f = CountingBloomFilter::with_rate(100, 0.01);
+        for k in 0..100u64 {
+            f.insert(k);
+        }
+        for k in 0..100u64 {
+            assert!(f.contains(k));
+        }
+    }
+
+    #[test]
+    fn remove_forgets_the_key() {
+        let mut f = CountingBloomFilter::with_rate(100, 0.01);
+        f.insert(7);
+        f.insert(8);
+        assert!(f.contains(7));
+        f.remove(7);
+        assert!(!f.contains(7), "removed key must be forgotten");
+        assert!(f.contains(8), "other keys survive removal");
+    }
+
+    #[test]
+    fn interleaved_insert_remove_cycles() {
+        let mut f = CountingBloomFilter::with_rate(500, 0.01);
+        for round in 0..10u64 {
+            for k in 0..200u64 {
+                f.insert(round * 1_000 + k);
+            }
+            for k in 0..200u64 {
+                f.remove(round * 1_000 + k);
+            }
+        }
+        // After removing everything, the filter is (essentially) empty.
+        let residual = (0..10_000u64).filter(|&k| f.contains(k)).count();
+        assert!(residual < 20, "residual membership {residual}");
+    }
+
+    #[test]
+    fn double_insert_needs_double_remove() {
+        let mut f = CountingBloomFilter::new(256, 4);
+        f.insert(42);
+        f.insert(42);
+        f.remove(42);
+        assert!(f.contains(42), "one copy still present");
+        f.remove(42);
+        assert!(!f.contains(42));
+    }
+
+    #[test]
+    fn saturation_is_sticky() {
+        let mut f = CountingBloomFilter::new(64, 2);
+        for _ in 0..100 {
+            f.insert(1);
+        }
+        for _ in 0..100 {
+            f.remove(1);
+        }
+        // Counters saturated at 15 and were never decremented: key stays.
+        assert!(f.contains(1), "saturated counters must not decrement");
+    }
+
+    #[test]
+    fn packed_size_is_half_a_byte_per_counter() {
+        let f = CountingBloomFilter::new(1001, 4);
+        assert_eq!(f.packed_byte_size(), 501);
+    }
+}

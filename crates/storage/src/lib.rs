@@ -1,0 +1,32 @@
+//! # gossiptrust-storage
+//!
+//! Compact reputation storage with Bloom filters — one of the three
+//! innovations the paper's conclusion claims for GossipTrust ("efficient
+//! reputation storage with Bloom filters", §7; detailed in the journal
+//! version of the paper).
+//!
+//! The idea: a peer rarely needs exact global scores — it needs to know
+//! *roughly how reputable* another peer is (e.g. to pick a download source
+//! or the power nodes). Instead of storing `n` `(id, f64)` pairs, the
+//! scores are bucketed into a small number of *rank levels* (say 8), and
+//! each level stores its member ids in a Bloom filter. A score query
+//! becomes `k` membership probes per level; storage drops from
+//! `n·(4+8)` bytes to a few hundred bytes per level at a tunable
+//! false-positive rate.
+//!
+//! * [`bloom`] — a from-scratch Bloom filter (double hashing, no external
+//!   crates).
+//! * [`ranks`] — the [`ranks::RankStorage`] built on it, with the
+//!   level-assignment policy and the rank-error analysis used by the
+//!   storage ablation experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bloom;
+pub mod counting;
+pub mod ranks;
+
+pub use bloom::BloomFilter;
+pub use counting::CountingBloomFilter;
+pub use ranks::{RankStorage, RankStorageConfig};

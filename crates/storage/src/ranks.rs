@@ -1,0 +1,188 @@
+//! Bloom-filter reputation-rank storage.
+//!
+//! Scores are quantized into `levels` rank buckets by *rank position*
+//! (bucket 0 = most reputable `n/levels` peers, etc. — geometric bucketing
+//! by score is also supported). Each bucket's membership is one Bloom
+//! filter. Queries probe buckets from the top; the first hit gives the
+//! peer's (approximate) rank level. False positives can only *promote* a
+//! peer by a level or two at the configured rate — the ablation experiment
+//! measures exactly that rank error as a function of the per-bucket
+//! false-positive budget.
+
+use crate::bloom::BloomFilter;
+use gossiptrust_core::id::NodeId;
+use gossiptrust_core::vector::ReputationVector;
+
+/// Configuration of the rank storage.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RankStorageConfig {
+    /// Number of rank levels (buckets).
+    pub levels: usize,
+    /// Per-bucket Bloom false-positive rate.
+    pub fp_rate: f64,
+}
+
+impl Default for RankStorageConfig {
+    fn default() -> Self {
+        RankStorageConfig { levels: 8, fp_rate: 0.01 }
+    }
+}
+
+/// Bloom-bucketed storage of a reputation ranking.
+#[derive(Clone, Debug)]
+pub struct RankStorage {
+    filters: Vec<BloomFilter>,
+    levels: usize,
+    n: usize,
+}
+
+impl RankStorage {
+    /// Build from a converged reputation vector: peers are rank-ordered and
+    /// split into `levels` equal-size buckets (bucket 0 most reputable).
+    pub fn build(vector: &ReputationVector, config: RankStorageConfig) -> Self {
+        assert!(config.levels >= 1, "need at least one level");
+        assert!(config.levels <= vector.n(), "more levels than peers");
+        let n = vector.n();
+        let per_bucket = n.div_ceil(config.levels);
+        let ranking = vector.ranking();
+        let mut filters = Vec::with_capacity(config.levels);
+        for chunk in ranking.chunks(per_bucket) {
+            let mut f = BloomFilter::with_rate(per_bucket.max(8), config.fp_rate);
+            for &id in chunk {
+                f.insert(id.0 as u64);
+            }
+            filters.push(f);
+        }
+        // chunks() can yield fewer buckets than requested when n is small;
+        // pad with empty filters so level indices stay stable.
+        while filters.len() < config.levels {
+            filters.push(BloomFilter::with_rate(per_bucket.max(8), config.fp_rate));
+        }
+        RankStorage { filters, levels: config.levels, n }
+    }
+
+    /// Number of rank levels.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Number of peers stored.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Query a peer's rank level: probes buckets from the most reputable
+    /// down and returns the first hit (false positives can only promote).
+    /// Returns `levels − 1` when no bucket claims the peer (every peer was
+    /// inserted somewhere, so a full miss means the bottom bucket's bits
+    /// lost to nothing — treat as least reputable).
+    pub fn rank_level(&self, peer: NodeId) -> usize {
+        for (level, f) in self.filters.iter().enumerate() {
+            if f.contains(peer.0 as u64) {
+                return level;
+            }
+        }
+        self.levels - 1
+    }
+
+    /// Total storage footprint in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.filters.iter().map(BloomFilter::byte_size).sum()
+    }
+
+    /// Bytes an exact `(u32 id, f64 score)` table would need.
+    pub fn exact_table_bytes(&self) -> usize {
+        self.n * (4 + 8)
+    }
+
+    /// Mean absolute rank-level error against the true bucketing of
+    /// `vector` (0 = lossless; false positives produce small promotions).
+    pub fn mean_rank_error(&self, vector: &ReputationVector) -> f64 {
+        let per_bucket = self.n.div_ceil(self.levels);
+        let ranking = vector.ranking();
+        let mut total = 0usize;
+        for (true_rank, &id) in ranking.iter().enumerate() {
+            let true_level = true_rank / per_bucket;
+            let stored = self.rank_level(id);
+            total += true_level.abs_diff(stored);
+        }
+        total as f64 / self.n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skewed_vector(n: usize) -> ReputationVector {
+        let weights: Vec<f64> = (1..=n).map(|r| 1.0 / (r as f64).powf(1.2)).collect();
+        ReputationVector::from_weights(weights).unwrap()
+    }
+
+    #[test]
+    fn top_peers_land_in_top_bucket() {
+        let v = skewed_vector(100);
+        let s = RankStorage::build(&v, RankStorageConfig::default());
+        let ranking = v.ranking();
+        // The single most reputable peer is always claimed by level 0.
+        assert_eq!(s.rank_level(ranking[0]), 0);
+    }
+
+    #[test]
+    fn rank_error_is_small_at_low_fp_rate() {
+        let v = skewed_vector(500);
+        let s = RankStorage::build(&v, RankStorageConfig { levels: 8, fp_rate: 0.001 });
+        let err = s.mean_rank_error(&v);
+        assert!(err < 0.1, "mean rank error {err}");
+    }
+
+    #[test]
+    fn higher_fp_rate_means_more_error_but_less_space() {
+        let v = skewed_vector(500);
+        let tight = RankStorage::build(&v, RankStorageConfig { levels: 8, fp_rate: 0.001 });
+        let loose = RankStorage::build(&v, RankStorageConfig { levels: 8, fp_rate: 0.2 });
+        assert!(loose.byte_size() < tight.byte_size());
+        assert!(loose.mean_rank_error(&v) >= tight.mean_rank_error(&v));
+    }
+
+    #[test]
+    fn storage_beats_exact_table() {
+        let v = skewed_vector(1000);
+        let s = RankStorage::build(&v, RankStorageConfig::default());
+        assert!(
+            s.byte_size() < s.exact_table_bytes() / 2,
+            "bloom {} vs exact {}",
+            s.byte_size(),
+            s.exact_table_bytes()
+        );
+    }
+
+    #[test]
+    fn errors_are_only_promotions() {
+        let v = skewed_vector(300);
+        let s = RankStorage::build(&v, RankStorageConfig { levels: 6, fp_rate: 0.05 });
+        let per_bucket = 300usize.div_ceil(6);
+        for (true_rank, &id) in v.ranking().iter().enumerate() {
+            let true_level = true_rank / per_bucket;
+            let stored = s.rank_level(id);
+            assert!(stored <= true_level, "peer {id}: stored {stored} > true {true_level}");
+        }
+    }
+
+    #[test]
+    fn single_level_maps_everything_to_zero() {
+        let v = skewed_vector(50);
+        let s = RankStorage::build(&v, RankStorageConfig { levels: 1, fp_rate: 0.01 });
+        for i in 0..50u32 {
+            assert_eq!(s.rank_level(NodeId(i)), 0);
+        }
+        assert_eq!(s.mean_rank_error(&v), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "more levels than peers")]
+    fn too_many_levels_rejected() {
+        let v = skewed_vector(4);
+        let _ = RankStorage::build(&v, RankStorageConfig { levels: 10, fp_rate: 0.01 });
+    }
+}

@@ -1,0 +1,67 @@
+//! Property-based tests for the Bloom-filter storage layer.
+
+use gossiptrust_core::vector::ReputationVector;
+use gossiptrust_storage::{BloomFilter, CountingBloomFilter, RankStorage, RankStorageConfig};
+use proptest::prelude::*;
+
+proptest! {
+    /// Bloom filters never produce false negatives.
+    #[test]
+    fn bloom_no_false_negatives(
+        keys in proptest::collection::hash_set(any::<u64>(), 1..500),
+        fp in 0.001f64..0.2,
+    ) {
+        let mut f = BloomFilter::with_rate(keys.len(), fp);
+        for &k in &keys {
+            f.insert(k);
+        }
+        for &k in &keys {
+            prop_assert!(f.contains(k), "false negative for {}", k);
+        }
+    }
+
+    /// Counting filters: removal of inserted keys never breaks membership
+    /// of the keys that remain.
+    #[test]
+    fn counting_removal_preserves_others(
+        keep in proptest::collection::hash_set(any::<u64>(), 1..200),
+        drop in proptest::collection::hash_set(any::<u64>(), 1..200),
+    ) {
+        let drop: Vec<u64> = drop.difference(&keep).copied().collect();
+        let mut f = CountingBloomFilter::with_rate(keep.len() + drop.len() + 8, 0.01);
+        for &k in &keep {
+            f.insert(k);
+        }
+        for &k in &drop {
+            f.insert(k);
+        }
+        for &k in &drop {
+            f.remove(k);
+        }
+        for &k in &keep {
+            prop_assert!(f.contains(k), "removal broke remaining key {}", k);
+        }
+    }
+
+    /// Rank storage: level assignments are promotion-only (a false positive
+    /// can only improve a peer's apparent rank) and every queried level is
+    /// in range.
+    #[test]
+    fn rank_storage_promotion_only(
+        weights in proptest::collection::vec(0.01f64..10.0, 8..120),
+        levels in 2usize..8,
+        fp in 0.001f64..0.1,
+    ) {
+        let n = weights.len();
+        let levels = levels.min(n);
+        let v = ReputationVector::from_weights(weights).unwrap();
+        let storage = RankStorage::build(&v, RankStorageConfig { levels, fp_rate: fp });
+        let per_bucket = n.div_ceil(levels);
+        for (true_rank, &id) in v.ranking().iter().enumerate() {
+            let true_level = true_rank / per_bucket;
+            let stored = storage.rank_level(id);
+            prop_assert!(stored < levels);
+            prop_assert!(stored <= true_level, "{}: stored {} > true {}", id, stored, true_level);
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! The simulated file catalog (§6.4).
+//!
+//! "There are over 100,000 files simulated in these experiments. The number
+//! of copies of each file is determined by a Power-law distribution with a
+//! popularity rate φ = 1.2. Each peer is assigned with a number of files
+//! based on the Sarioiu distribution."
+//!
+//! [`FileCatalog::generate`] reconciles the two distributions: per-peer
+//! capacities are drawn from the Saroiu model and rescaled so the total
+//! placement count can host every file at least once; per-file copy counts
+//! follow a rank-`φ` power law over that total. File ids double as
+//! popularity ranks (file 0 is the most replicated), which the query
+//! workload exploits.
+
+use crate::saroiu::SaroiuFiles;
+use gossiptrust_core::id::NodeId;
+use rand::Rng;
+
+/// A placed file catalog: which peers hold a copy of which file.
+#[derive(Clone, Debug)]
+pub struct FileCatalog {
+    /// `holders[f]` = sorted peer indices holding file `f` (non-empty).
+    holders: Vec<Vec<u32>>,
+    /// `peer_files[p]` = file ids held by peer `p`.
+    peer_files: Vec<Vec<u32>>,
+}
+
+impl FileCatalog {
+    /// Generate a catalog of `num_files` files over `n` peers.
+    ///
+    /// Copy counts follow `rank^(−phi)` (paper: `φ = 1.2`), scaled to the
+    /// total peer capacity from `saroiu` (rescaled up if the capacities
+    /// cannot host one copy of every file). Every file ends up with at
+    /// least one holder.
+    pub fn generate<R: Rng + ?Sized>(
+        n: usize,
+        num_files: usize,
+        phi: f64,
+        saroiu: &SaroiuFiles,
+        rng: &mut R,
+    ) -> Self {
+        assert!(n >= 1, "need at least one peer");
+        assert!(num_files >= 1, "need at least one file");
+        assert!(phi > 0.0, "popularity rate must be positive");
+
+        // Per-peer capacities, rescaled so Σ capacities ≥ num_files.
+        let mut capacities = saroiu.sample_counts(n, rng);
+        let mut total: usize = capacities.iter().sum();
+        if total < num_files {
+            if total == 0 {
+                capacities = vec![num_files / n + 1; n];
+            } else {
+                let scale = num_files as f64 / total as f64;
+                for c in capacities.iter_mut() {
+                    *c = ((*c as f64) * scale).ceil() as usize;
+                }
+            }
+            total = capacities.iter().sum();
+        }
+
+        // Per-file copy counts ∝ rank^(−φ), at least 1, summing ≈ total.
+        let weights: Vec<f64> = (1..=num_files).map(|r| (r as f64).powf(-phi)).collect();
+        let wsum: f64 = weights.iter().sum();
+        let mut copies: Vec<usize> = weights
+            .iter()
+            .map(|w| ((w / wsum) * total as f64).round().max(1.0) as usize)
+            .collect();
+        // Cap any file's copies at n (a peer holds at most one copy).
+        for c in copies.iter_mut() {
+            *c = (*c).min(n);
+        }
+
+        // Place each file's copies on distinct peers sampled with
+        // probability proportional to peer capacity (capacity acts as a
+        // weight, not a hard quota). Rejection sampling against a cumulative
+        // capacity table keeps this O(c·log n) per file; near-complete files
+        // simply take every peer.
+        let cumulative: Vec<f64> = {
+            let mut acc = 0.0;
+            capacities
+                .iter()
+                .map(|&c| {
+                    // +1 smoothing so zero-capacity free riders can still
+                    // host the occasional unpopular file.
+                    acc += c as f64 + 1.0;
+                    acc
+                })
+                .collect()
+        };
+        let cap_total = *cumulative.last().expect("n >= 1");
+
+        let mut holders: Vec<Vec<u32>> = Vec::with_capacity(num_files);
+        let mut peer_files: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut in_file = vec![false; n]; // scratch membership mask
+        for (f, &c) in copies.iter().enumerate() {
+            let mut hs: Vec<u32> = Vec::with_capacity(c);
+            if c >= n {
+                hs.extend(0..n as u32);
+            } else {
+                let mut attempts = 0usize;
+                let max_attempts = 30 * c + 50;
+                while hs.len() < c && attempts < max_attempts {
+                    attempts += 1;
+                    let u: f64 = rng.random::<f64>() * cap_total;
+                    let p = match cumulative
+                        .binary_search_by(|x| x.partial_cmp(&u).expect("finite"))
+                    {
+                        Ok(i) => (i + 1).min(n - 1),
+                        Err(i) => i.min(n - 1),
+                    };
+                    if !in_file[p] {
+                        in_file[p] = true;
+                        hs.push(p as u32);
+                    }
+                }
+                // Rejection exhausted (very popular file on a tiny network):
+                // top up with the first peers not yet holding it.
+                if hs.len() < c {
+                    #[allow(clippy::needless_range_loop)] // index drives multiple arrays
+                    for p in 0..n {
+                        if hs.len() >= c {
+                            break;
+                        }
+                        if !in_file[p] {
+                            in_file[p] = true;
+                            hs.push(p as u32);
+                        }
+                    }
+                }
+                for &p in &hs {
+                    in_file[p as usize] = false;
+                }
+            }
+            debug_assert!(!hs.is_empty());
+            hs.sort_unstable();
+            for &p in &hs {
+                peer_files[p as usize].push(f as u32);
+            }
+            holders.push(hs);
+        }
+
+        FileCatalog { holders, peer_files }
+    }
+
+    /// Number of files.
+    pub fn num_files(&self) -> usize {
+        self.holders.len()
+    }
+
+    /// Number of peers the catalog was generated for.
+    pub fn n(&self) -> usize {
+        self.peer_files.len()
+    }
+
+    /// Sorted peers holding file `f`.
+    pub fn holders(&self, file: u32) -> &[u32] {
+        &self.holders[file as usize]
+    }
+
+    /// Files held by `peer`.
+    pub fn files_of(&self, peer: NodeId) -> &[u32] {
+        &self.peer_files[peer.index()]
+    }
+
+    /// Copy count of file `f`.
+    pub fn copies(&self, file: u32) -> usize {
+        self.holders[file as usize].len()
+    }
+
+    /// Total placements across all files.
+    pub fn total_copies(&self) -> usize {
+        self.holders.iter().map(Vec::len).sum()
+    }
+
+    /// Whether `peer` holds `file`.
+    pub fn peer_has(&self, peer: NodeId, file: u32) -> bool {
+        self.holders[file as usize]
+            .binary_search(&(peer.0))
+            .is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn catalog(n: usize, files: usize, seed: u64) -> FileCatalog {
+        let mut rng = StdRng::seed_from_u64(seed);
+        FileCatalog::generate(n, files, 1.2, &SaroiuFiles::default(), &mut rng)
+    }
+
+    #[test]
+    fn every_file_has_a_holder() {
+        let c = catalog(50, 2_000, 1);
+        for f in 0..2_000u32 {
+            assert!(!c.holders(f).is_empty(), "file {f} unplaced");
+        }
+    }
+
+    #[test]
+    fn holders_are_distinct_and_sorted() {
+        let c = catalog(40, 500, 2);
+        for f in 0..500u32 {
+            let hs = c.holders(f);
+            for w in hs.windows(2) {
+                assert!(w[0] < w[1], "file {f} holders not strictly sorted");
+            }
+            assert!(hs.iter().all(|&p| (p as usize) < 40));
+        }
+    }
+
+    #[test]
+    fn popular_files_have_more_copies() {
+        let c = catalog(200, 5_000, 3);
+        // Rank-0 file must have (weakly) more copies than deep-tail files,
+        // and the head should be clearly above the tail on average.
+        let head: f64 = (0..50).map(|f| c.copies(f) as f64).sum::<f64>() / 50.0;
+        let tail: f64 = (4_000..4_050).map(|f| c.copies(f) as f64).sum::<f64>() / 50.0;
+        assert!(head > 2.0 * tail, "head {head} vs tail {tail}");
+    }
+
+    #[test]
+    fn peer_files_is_consistent_with_holders() {
+        let c = catalog(30, 300, 4);
+        for f in 0..300u32 {
+            for &p in c.holders(f) {
+                assert!(c.files_of(NodeId(p)).contains(&f));
+                assert!(c.peer_has(NodeId(p), f));
+            }
+        }
+        let total_from_peers: usize = (0..30).map(|p| c.files_of(NodeId(p)).len()).sum();
+        assert_eq!(total_from_peers, c.total_copies());
+    }
+
+    #[test]
+    fn capacity_scaling_hosts_all_files() {
+        // More files than default capacities can host → rescaling kicks in.
+        let c = catalog(10, 5_000, 5);
+        assert_eq!(c.num_files(), 5_000);
+        assert!(c.total_copies() >= 5_000);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = catalog(25, 400, 9);
+        let b = catalog(25, 400, 9);
+        for f in 0..400u32 {
+            assert_eq!(a.holders(f), b.holders(f));
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # gossiptrust-workloads
+//!
+//! Workload generators reproducing the simulation setup of §6.1 of the
+//! GossipTrust paper:
+//!
+//! * [`powerlaw`] — bounded power-law / Zipf samplers, including the
+//!   two-segment query-popularity distribution (`φ = 0.63` for ranks 1–250,
+//!   `φ = 1.24` below) and a degree-sequence generator tuned to hit the
+//!   paper's feedback parameters (`d_max = 200`, `d_avg = 20`).
+//! * [`population`] — peer populations: honest vs. malicious peers
+//!   (fraction `γ`), collusion groups, and each peer's intrinsic service
+//!   authenticity rate.
+//! * [`feedback`] — the feedback-graph generator: power-law out-degrees,
+//!   per-edge simulated transactions, and the *honest* vs. *polluted*
+//!   trust-matrix pair used by every robustness experiment (the honest
+//!   matrix is the ground truth for Eq. 8's "calculated" scores; the
+//!   polluted one is what the reputation system actually sees).
+//! * [`saroiu`] — per-peer shared-file counts following a skewed
+//!   (bounded-Pareto) distribution in the spirit of Saroiu et al.'s
+//!   Gnutella measurements.
+//! * [`files`] — the file catalog: 100 000 files whose copy counts follow a
+//!   power law with popularity rate `φ = 1.2`, distributed over peers.
+//! * [`queries`] — query generation over the catalog with the two-segment
+//!   popularity law.
+//! * [`scenario`] — one-stop bundle tying population + feedback together
+//!   for the experiment harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod feedback;
+pub mod files;
+pub mod population;
+pub mod powerlaw;
+pub mod queries;
+pub mod saroiu;
+pub mod scenario;
+
+pub use feedback::{FeedbackConfig, FeedbackOutcome};
+pub use files::FileCatalog;
+pub use population::{PeerKind, Population, ThreatConfig};
+pub use powerlaw::{BoundedPareto, DegreeSequence, TwoSegmentZipf, Zipf};
+pub use queries::QueryWorkload;
+pub use scenario::{Scenario, ScenarioConfig};

@@ -1,0 +1,128 @@
+//! Query workload over the file catalog (§6.4).
+//!
+//! "We rank the queries according to their popularity. We use a power law
+//! distribution with φ = 0.63 for queries ranked 1 to 250 and φ = 1.24 for
+//! lower-ranking queries. This distribution models the query popularity
+//! distribution in Gnutella."
+//!
+//! File ids double as popularity ranks (see [`crate::files`]), so a sampled
+//! query rank `r` maps to file id `r − 1`: the most-queried files are also
+//! the most replicated, as in Gnutella.
+
+use crate::powerlaw::TwoSegmentZipf;
+use gossiptrust_core::id::NodeId;
+use rand::Rng;
+
+/// One query event: `requester` looks for `file`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Query {
+    /// The querying peer.
+    pub requester: NodeId,
+    /// The requested file id.
+    pub file: u32,
+}
+
+/// Generator of Gnutella-like query streams.
+#[derive(Clone, Debug)]
+pub struct QueryWorkload {
+    popularity: TwoSegmentZipf,
+    n: usize,
+}
+
+impl QueryWorkload {
+    /// Workload over `num_files` files and `n` peers with the paper's
+    /// two-segment popularity law.
+    pub fn new(n: usize, num_files: usize) -> Self {
+        assert!(n >= 1 && num_files >= 1, "need peers and files");
+        QueryWorkload {
+            popularity: TwoSegmentZipf::gnutella_queries(num_files),
+            n,
+        }
+    }
+
+    /// Number of peers.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of files.
+    pub fn num_files(&self) -> usize {
+        self.popularity.n()
+    }
+
+    /// Sample the next query: uniform random requester ("a query is
+    /// randomly generated at a peer"), file by popularity rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Query {
+        let rank = self.popularity.sample(rng);
+        Query {
+            requester: NodeId::from_index(rng.random_range(0..self.n)),
+            file: (rank - 1) as u32,
+        }
+    }
+
+    /// Sample a batch of `count` queries.
+    pub fn sample_batch<R: Rng + ?Sized>(&self, count: usize, rng: &mut R) -> Vec<Query> {
+        (0..count).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Probability that a query targets file `f`.
+    pub fn file_probability(&self, f: u32) -> f64 {
+        self.popularity.pmf(f as usize + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn queries_are_in_range() {
+        let w = QueryWorkload::new(20, 1_000);
+        let mut rng = StdRng::seed_from_u64(1);
+        for q in w.sample_batch(5_000, &mut rng) {
+            assert!(q.requester.index() < 20);
+            assert!((q.file as usize) < 1_000);
+        }
+    }
+
+    #[test]
+    fn popular_files_are_queried_more() {
+        let w = QueryWorkload::new(10, 10_000);
+        let mut rng = StdRng::seed_from_u64(2);
+        let batch = w.sample_batch(50_000, &mut rng);
+        let head = batch.iter().filter(|q| q.file < 100).count();
+        let tail = batch.iter().filter(|q| q.file >= 9_000).count();
+        assert!(head > 5 * tail.max(1), "head {head} vs tail {tail}");
+    }
+
+    #[test]
+    fn requesters_are_roughly_uniform() {
+        let w = QueryWorkload::new(4, 100);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 4];
+        for q in w.sample_batch(40_000, &mut rng) {
+            counts[q.requester.index()] += 1;
+        }
+        for &c in &counts {
+            let p = c as f64 / 40_000.0;
+            assert!((p - 0.25).abs() < 0.02, "p {p}");
+        }
+    }
+
+    #[test]
+    fn file_probability_matches_empirical() {
+        let w = QueryWorkload::new(5, 50);
+        let mut rng = StdRng::seed_from_u64(4);
+        let trials = 100_000;
+        let hits = w
+            .sample_batch(trials, &mut rng)
+            .iter()
+            .filter(|q| q.file == 0)
+            .count();
+        let emp = hits as f64 / trials as f64;
+        let ana = w.file_probability(0);
+        assert!((emp - ana).abs() < 0.01, "{emp} vs {ana}");
+    }
+}

@@ -1,0 +1,60 @@
+//! Peer dynamics: one gossip aggregation cycle in the discrete-event
+//! simulator while peers continuously leave and rejoin, at several
+//! availability levels.
+//!
+//! Run with: `cargo run --release --example churn_resilience`
+
+use gossiptrust::prelude::*;
+use gossiptrust::simnet::{AsyncGossipSim, ChurnModel, LinkModel, Overlay, SimConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = 150;
+    let cfg = ScenarioConfig::small(n, ThreatConfig::benign());
+    let scenario = Scenario::generate(&cfg, &mut StdRng::seed_from_u64(3));
+    let v0 = ReputationVector::uniform(n);
+    let prior = Prior::uniform(n);
+
+    // Exact value of this cycle, for the error column.
+    let mut exact = vec![0.0; n];
+    scenario.honest.transpose_mul(v0.values(), &mut exact).unwrap();
+    prior.mix_into(&mut exact, 0.15);
+
+    println!("one gossip cycle over a {n}-peer overlay under churn\n");
+    println!("availability  leaves  joins  virtual time  mean rel error");
+    println!("----------------------------------------------------------");
+    let settings: [(Option<ChurnModel>, &str); 4] = [
+        (None, "100%"),
+        (Some(ChurnModel::new(95_000_000, 5_000_000)), " 95%"),
+        (Some(ChurnModel::new(35_000_000, 5_000_000)), " 87%"),
+        (Some(ChurnModel::new(15_000_000, 5_000_000)), " 75%"),
+    ];
+    for (churn, label) in settings {
+        let mut rng = StdRng::seed_from_u64(9);
+        let overlay = Overlay::random_k_out(n, 4, &mut rng);
+        let config = SimConfig {
+            link: LinkModel::fixed(30_000),
+            epsilon: 1e-3,
+            churn,
+            max_time: 120_000_000,
+            ..Default::default()
+        };
+        let mut sim = AsyncGossipSim::new(overlay, config);
+        let report = sim.run_cycle(&scenario.honest, &v0, &prior, 0.15, &mut rng);
+        let err = exact
+            .iter()
+            .zip(&report.estimate)
+            .map(|(&e, &g)| (e - g).abs() / e.max(1e-12))
+            .sum::<f64>()
+            / n as f64;
+        println!(
+            "{label}          {:<6}  {:<5}  {:>7.1} s     {err:.2e}",
+            report.metrics.leaves,
+            report.metrics.joins,
+            report.virtual_time as f64 / 1e6,
+        );
+    }
+    println!("\nmass frozen on offline peers skews the consensus slightly;");
+    println!("the estimate degrades gracefully rather than collapsing.");
+}

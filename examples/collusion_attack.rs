@@ -1,0 +1,56 @@
+//! Collusion attack demo (the Fig. 4(b) scenario): groups of malicious
+//! peers boost each other with fake feedback; power nodes (greedy factor
+//! α = 0.15) dampen the distortion compared to treating all peers equally.
+//!
+//! Run with: `cargo run --release --example collusion_attack`
+
+use gossiptrust::gossip::cycle::exact_reference;
+use gossiptrust::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn distortion(alpha: f64, group_size: usize, seed: u64) -> f64 {
+    let n = 300;
+    let cfg = ScenarioConfig::small(n, ThreatConfig::collusive(0.10, group_size));
+    let scenario = Scenario::generate(&cfg, &mut StdRng::seed_from_u64(seed));
+
+    let mut params = Params::for_network(n).with_alpha(alpha);
+    params.max_power_nodes = (n / 100).max(4);
+    let policy = if alpha > 0.0 {
+        PriorPolicy::PowerNodesEachCycle
+    } else {
+        PriorPolicy::Fixed(Prior::uniform(n))
+    };
+    // Ground truth: the same computation over *honest* feedback.
+    let truth = exact_reference(&scenario.honest, &params.clone().with_delta(1e-10), &policy);
+    // What the system actually sees: feedback polluted by the colluders.
+    let agg = GossipTrustAggregator::new(params).with_prior_policy(policy);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+    let report = agg.aggregate(&scenario.polluted, &mut rng);
+    truth.rms_relative_error(&report.vector).unwrap()
+}
+
+fn main() {
+    println!("Collusion attack (feedback pollution): 10% of 300 peers collude in");
+    println!("groups, max-rating their mates and zero-rating everyone else.\n");
+    println!("Distortion = RMS relative distance between the scores computed from");
+    println!("honest feedback and from the colluders' polluted feedback, at the");
+    println!("same settings (mean of 3 seeds). Note the relative metric divides by");
+    println!("the colluders' tiny honest-truth scores, so absolute values run large;");
+    println!("the power-node damping ratio is the story:\n");
+    println!("group size  alpha=0 (no power nodes)  alpha=0.15 (power nodes)");
+    println!("---------------------------------------------------------------");
+    for group_size in [2usize, 4, 6, 8] {
+        let avg = |alpha: f64| {
+            (0..3).map(|s| distortion(alpha, group_size, 100 + s)).sum::<f64>() / 3.0
+        };
+        let without = avg(0.0);
+        let with = avg(0.15);
+        println!(
+            "{group_size:<10}  {without:<24.4}  {with:.4}   ({}%)",
+            ((1.0 - with / without) * 100.0).round()
+        );
+    }
+    println!("\nPower nodes anchor the α-jump on reputable peers, cutting the");
+    println!("error the colluders can inject (the paper reports ~30% less).");
+}

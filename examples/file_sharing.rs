@@ -1,0 +1,65 @@
+//! P2P file sharing with reputation-based source selection (the Fig. 5
+//! scenario at demo scale): a Gnutella-like network with 20% malicious
+//! peers serving corrupted files, comparing GossipTrust vs NoTrust.
+//!
+//! Run with: `cargo run --release --example file_sharing`
+
+use gossiptrust::filesharing::{
+    FileSharingSession, ReputationBackend, SelectionPolicy, SessionConfig,
+};
+use gossiptrust::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run(name: &str, selection: SelectionPolicy, backend: ReputationBackend) {
+    let n = 200;
+    let queries = 4000;
+    let mut rng = StdRng::seed_from_u64(11);
+    let population = Population::generate(n, &ThreatConfig::independent(0.20), &mut rng);
+    let malicious = population.malicious_peers().len();
+
+    let config = SessionConfig {
+        selection,
+        backend,
+        ..SessionConfig::gossiptrust(Params::for_network(n))
+    }
+    .scaled_down(2_000, 500); // 2000 files, reputation refresh each 500 queries
+
+    let mut session = FileSharingSession::new(population, config, &mut rng);
+    session.run_queries(queries, &mut rng);
+    let report = session.finish(&mut rng);
+
+    println!("--- {name} ---");
+    println!("peers: {n} ({malicious} malicious), queries: {}", report.queries);
+    println!("authentic downloads: {}", report.successes);
+    println!("inauthentic downloads: {}", report.inauthentic);
+    println!("queries with no reachable holder: {}", report.no_holder);
+    println!("flood messages: {}", report.flood_messages);
+    println!("reputation refreshes: {}", report.reputation_updates);
+    print!("success rate per window:");
+    for w in &report.windows {
+        print!(" {:.0}%", w.success_rate() * 100.0);
+    }
+    println!();
+    println!(
+        "overall {:.1}%, steady state {:.1}%\n",
+        report.success_rate() * 100.0,
+        report.steady_state_success_rate(3) * 100.0
+    );
+}
+
+fn main() {
+    println!("P2P file sharing under a 20% independent-malicious population\n");
+    run(
+        "GossipTrust (highest-reputation selection, gossip aggregation)",
+        SelectionPolicy::HighestReputation,
+        ReputationBackend::Gossip,
+    );
+    run(
+        "NoTrust (random selection, no reputation system)",
+        SelectionPolicy::Random,
+        ReputationBackend::None,
+    );
+    println!("GossipTrust should climb across windows as scores converge,");
+    println!("while NoTrust stays pinned near the honest-population average.");
+}

@@ -1,0 +1,58 @@
+//! Quickstart: build a trust network from feedback, aggregate global
+//! reputation scores with gossip, and compare against the exact
+//! centralized computation.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use gossiptrust::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // --- 1. A small community with one well-behaved hub ------------------
+    // Peers 1..8 have each had good experiences with peer 0 (say, clean
+    // file downloads) and mixed experiences with their neighbors.
+    let n = 8;
+    let mut builder = TrustMatrixBuilder::new(n);
+    for i in 1..n as u32 {
+        builder.record(NodeId(i), NodeId(0), 5.0);
+        builder.record(NodeId(i), NodeId(i % (n as u32 - 1) + 1), 1.0);
+    }
+    builder.record(NodeId(0), NodeId(3), 2.0);
+    let matrix = builder.build();
+    println!("trust matrix: {} peers, {} feedback entries", matrix.n(), matrix.nnz());
+
+    // --- 2. Gossip-based aggregation (what GossipTrust actually runs) ----
+    // A fixed uniform prior makes the gossip result directly comparable to
+    // the oracle below; production use would keep the default adaptive
+    // power-node policy (see the collusion_attack example).
+    let params = Params::for_network(n);
+    let mut rng = StdRng::seed_from_u64(7);
+    let report = GossipTrustAggregator::new(params.clone())
+        .with_prior_policy(PriorPolicy::Fixed(Prior::uniform(n)))
+        .aggregate(&matrix, &mut rng);
+    println!(
+        "gossip aggregation: {} cycles, {} gossip steps, converged = {}",
+        report.cycles,
+        report.total_gossip_steps(),
+        report.converged
+    );
+
+    // --- 3. The exact centralized oracle for comparison ------------------
+    let oracle = PowerIteration::new(params).solve(&matrix, &Prior::uniform(n));
+    println!("oracle: {} cycles, converged = {}", oracle.cycles, oracle.converged);
+
+    println!("\npeer  gossiped  exact");
+    for id in NodeId::all(n) {
+        println!(
+            "{:<4}  {:.4}    {:.4}",
+            id.to_string(),
+            report.vector.score(id),
+            oracle.vector.score(id)
+        );
+    }
+    let err = oracle.vector.rms_relative_error(&report.vector).unwrap();
+    println!("\nRMS relative error vs oracle: {err:.2e}");
+    println!("most reputable peer: {}", report.vector.ranking()[0]);
+    println!("power nodes for the next round: {:?}", report.power_nodes);
+}

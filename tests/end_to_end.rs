@@ -1,0 +1,120 @@
+//! Cross-crate integration tests: the full GossipTrust pipeline from
+//! workload generation through gossip aggregation to storage and
+//! application-level selection.
+
+use gossiptrust::baselines::{CentralizedOracle, EigenTrust, NoTrust};
+use gossiptrust::prelude::*;
+use gossiptrust::storage::{RankStorage, RankStorageConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn benign_scenario(n: usize, seed: u64) -> Scenario {
+    Scenario::generate(
+        &ScenarioConfig::small(n, ThreatConfig::benign()),
+        &mut StdRng::seed_from_u64(seed),
+    )
+}
+
+/// Workload → gossip aggregation → Bloom rank storage, end to end.
+#[test]
+fn full_pipeline_from_feedback_to_rank_storage() {
+    let n = 60;
+    let scenario = benign_scenario(n, 1);
+    let params = Params::for_network(n);
+    let mut rng = StdRng::seed_from_u64(2);
+    let report = GossipTrustAggregator::new(params)
+        .with_prior_policy(PriorPolicy::Fixed(Prior::uniform(n)))
+        .aggregate(&scenario.honest, &mut rng);
+    assert!(report.converged);
+
+    // Store the converged ranking in Bloom buckets and read it back.
+    let storage = RankStorage::build(&report.vector, RankStorageConfig { levels: 6, fp_rate: 0.01 });
+    let top = report.vector.ranking()[0];
+    assert_eq!(storage.rank_level(top), 0, "top peer must be in the best bucket");
+    assert!(storage.byte_size() < storage.exact_table_bytes());
+    assert!(storage.mean_rank_error(&report.vector) < 0.5);
+}
+
+/// Three independent implementations of the same mathematics — the
+/// centralized oracle, gossip aggregation, and EigenTrust over the DHT —
+/// agree on the reputation ranking of a benign network.
+#[test]
+fn three_systems_agree_on_rankings() {
+    let n = 50;
+    let scenario = benign_scenario(n, 3);
+    let params = Params::for_network(n).with_delta(1e-6);
+
+    let oracle = CentralizedOracle::new(params.clone()).compute(&scenario.honest);
+    assert!(oracle.converged);
+
+    let mut rng = StdRng::seed_from_u64(4);
+    let gossip = GossipTrustAggregator::new(params.clone().with_epsilon(1e-6))
+        .with_prior_policy(PriorPolicy::Fixed(Prior::uniform(n)))
+        .aggregate(&scenario.honest, &mut rng);
+    assert!(gossip.converged);
+
+    let eigentrust = EigenTrust::new(params, vec![]).compute(&scenario.honest);
+    assert!(eigentrust.converged);
+
+    // Value-level agreement.
+    assert!(oracle.vector.rms_relative_error(&gossip.vector).unwrap() < 0.02);
+    assert!(oracle.vector.rms_relative_error(&eigentrust.vector).unwrap() < 1e-4);
+    // Top-5 agreement.
+    let overlap = gossiptrust::core::metrics::top_k_overlap(
+        &oracle.vector.ranking(),
+        &gossip.vector.ranking(),
+        5,
+    );
+    assert!(overlap >= 0.8, "top-5 overlap {overlap}");
+}
+
+/// Under an independent-malicious threat model, the gossiped scores of
+/// honest peers dominate those of the attackers even though the attackers
+/// pollute the input matrix.
+#[test]
+fn gossip_demotes_independent_attackers() {
+    let n = 100;
+    let cfg = ScenarioConfig::small(n, ThreatConfig::independent(0.2));
+    let scenario = Scenario::generate(&cfg, &mut StdRng::seed_from_u64(5));
+    let params = Params::for_network(n);
+    let mut rng = StdRng::seed_from_u64(6);
+    let report = GossipTrustAggregator::new(params)
+        .with_prior_policy(PriorPolicy::Fixed(Prior::uniform(n)))
+        .aggregate(&scenario.polluted, &mut rng);
+
+    let avg = |ids: &[NodeId]| {
+        ids.iter().map(|&i| report.vector.score(i)).sum::<f64>() / ids.len() as f64
+    };
+    let honest = avg(&scenario.population.honest_peers());
+    let malicious = avg(&scenario.population.malicious_peers());
+    assert!(
+        honest > malicious,
+        "honest {honest} should outscore malicious {malicious}"
+    );
+}
+
+/// NoTrust is genuinely reputation-free: its vector is uniform and its
+/// selection ignores scores entirely.
+#[test]
+fn notrust_is_uniform() {
+    let v = NoTrust.vector(10);
+    for id in NodeId::all(10) {
+        assert!((v.score(id) - 0.1).abs() < 1e-12);
+    }
+}
+
+/// The centralized oracle and the gossip pipeline survive a *warm restart*:
+/// re-aggregating from a converged vector terminates almost immediately
+/// (this is the reputation-updating path of §3).
+#[test]
+fn reputation_updating_warm_restart() {
+    let n = 40;
+    let scenario = benign_scenario(n, 7);
+    let params = Params::for_network(n).with_epsilon(1e-7);
+    let agg = GossipTrustAggregator::new(params)
+        .with_prior_policy(PriorPolicy::Fixed(Prior::uniform(n)));
+    let mut rng = StdRng::seed_from_u64(8);
+    let cold = agg.aggregate(&scenario.honest, &mut rng);
+    let warm = agg.aggregate_with(&scenario.honest, &cold.vector, &UniformChooser, &mut rng);
+    assert!(warm.cycles < cold.cycles, "{} vs {}", warm.cycles, cold.cycles);
+}

@@ -1,0 +1,128 @@
+//! Cross-crate threat-model integration tests: the system-level claims
+//! about attacks, pinned as tests.
+
+use gossiptrust::core::qof;
+use gossiptrust::gossip::cycle::exact_reference;
+use gossiptrust::gossip::engine::{EngineConfig, VectorGossipEngine};
+use gossiptrust::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Collusion inflates a group's aggregate scores, and the damage grows
+/// with the collusive fraction (the Fig. 4(b) premise at test scale).
+#[test]
+fn collusion_damage_grows_with_gamma() {
+    let distortion = |gamma: f64| {
+        let mut total = 0.0;
+        let seeds = 4;
+        for seed in 0..seeds {
+            let cfg = ScenarioConfig::small(120, ThreatConfig::collusive(gamma, 4));
+            let s = Scenario::generate(&cfg, &mut StdRng::seed_from_u64(900 + seed));
+            let params = Params::for_network(120).with_delta(1e-9);
+            let honest = PowerIteration::new(params.clone())
+                .solve(&s.honest, &Prior::uniform(120))
+                .vector;
+            let polluted = PowerIteration::new(params)
+                .solve(&s.polluted, &Prior::uniform(120))
+                .vector;
+            total += honest.l1_distance(&polluted).unwrap();
+        }
+        total / seeds as f64
+    };
+    let low = distortion(0.05);
+    let high = distortion(0.25);
+    assert!(high > low, "more colluders must distort more: {low} vs {high}");
+}
+
+/// Gossip disturbance (forged pushes) inflates the forger's component, and
+/// the exact reference is immune by construction.
+#[test]
+fn gossip_disturbance_only_affects_the_gossiped_path() {
+    let n = 60;
+    let cfg = ScenarioConfig::small(n, ThreatConfig::benign());
+    let s = Scenario::generate(&cfg, &mut StdRng::seed_from_u64(42));
+    let params = Params::for_network(n);
+    let policy = gossiptrust::gossip::cycle::PriorPolicy::Fixed(Prior::uniform(n));
+    let truth = exact_reference(&s.honest, &params.clone().with_delta(1e-10), &policy);
+
+    // Disturbed gossip run: node 7 forges 3× its own component.
+    let agg = GossipTrustAggregator::new(params)
+        .with_prior_policy(policy)
+        .with_corruption(vec![(NodeId(7), vec![7], 3.0)]);
+    let mut rng = StdRng::seed_from_u64(43);
+    let report = agg.aggregate(&s.honest, &mut rng);
+    assert!(
+        report.vector.score(NodeId(7)) > truth.score(NodeId(7)),
+        "forging must inflate the forger: {} vs {}",
+        report.vector.score(NodeId(7)),
+        truth.score(NodeId(7))
+    );
+}
+
+/// QoF discounting demotes inverted raters end to end: build a polluted
+/// scenario, compute credibility, discount, re-aggregate, and check the
+/// result moved toward the honest truth.
+#[test]
+fn qof_discounting_moves_toward_truth() {
+    let mut improved = 0;
+    let seeds = 4;
+    for seed in 0..seeds {
+        let cfg = ScenarioConfig::small(150, ThreatConfig::independent(0.25));
+        let s = Scenario::generate(&cfg, &mut StdRng::seed_from_u64(700 + seed));
+        let params = Params::for_network(150).with_delta(1e-9);
+        let truth = PowerIteration::new(params.clone())
+            .solve(&s.honest, &Prior::uniform(150))
+            .vector;
+        let bootstrap = PowerIteration::new(params.clone())
+            .solve(&s.polluted, &Prior::uniform(150))
+            .vector;
+        let credibility = qof::feedback_credibility(&s.polluted, &bootstrap, 0.05);
+        let discounted_matrix = qof::discount_matrix(&s.polluted, &credibility);
+        let plain = PowerIteration::new(params.clone())
+            .solve(&s.polluted, &Prior::uniform(150))
+            .vector;
+        let discounted = PowerIteration::new(params)
+            .solve(&discounted_matrix, &Prior::uniform(150))
+            .vector;
+        let err_plain = truth.l1_distance(&plain).unwrap();
+        let err_disc = truth.l1_distance(&discounted).unwrap();
+        if err_disc <= err_plain {
+            improved += 1;
+        }
+    }
+    assert!(improved >= 3, "QoF should help in most scenarios ({improved}/{seeds})");
+}
+
+/// Dead nodes during gossip freeze their mass but never corrupt the
+/// surviving consensus: the alive nodes still agree with each other.
+#[test]
+fn dead_nodes_leave_survivors_consistent() {
+    let n = 40;
+    let cfg = ScenarioConfig::small(n, ThreatConfig::benign());
+    let s = Scenario::generate(&cfg, &mut StdRng::seed_from_u64(5));
+    let params = Params::for_network(n);
+    let mut engine = VectorGossipEngine::new(n, EngineConfig::from_params(&params, n));
+    engine.seed(&s.honest, &ReputationVector::uniform(n), &Prior::uniform(n), 0.15);
+    let mut rng = StdRng::seed_from_u64(6);
+    for _ in 0..6 {
+        engine.step(&UniformChooser, &mut rng);
+    }
+    for dead in [3u32, 17, 29] {
+        engine.kill(NodeId(dead));
+    }
+    let (_, converged) = engine.run(&UniformChooser, &mut rng);
+    assert!(converged);
+    // All alive nodes agree (small relative spread on every component).
+    let reference = engine.extract(NodeId(0));
+    for i in 0..n {
+        let id = NodeId::from_index(i);
+        if !engine.is_alive(id) {
+            continue;
+        }
+        let est = engine.extract(id);
+        for j in 0..n {
+            let rel = (est[j] - reference[j]).abs() / reference[j].abs().max(1e-12);
+            assert!(rel < 5e-3, "node {i} comp {j} diverged: {rel}");
+        }
+    }
+}
