@@ -1,0 +1,71 @@
+//! Flat-arena vector gossip engine: sequential vs pool-parallel step cost.
+//!
+//! Tracks the tentpole hot path — one `O(n²)` gossip step — at three
+//! network sizes, for the sequential step (`threads = 1`) and the
+//! persistent-pool parallel step (`threads = 4`). Both paths produce
+//! bit-identical results, so this is a pure wall-time comparison. The
+//! `bench_summary` binary in this crate distills the same measurement into
+//! `BENCH_engine.json` for the perf trajectory.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gossiptrust_core::id::NodeId;
+use gossiptrust_core::matrix::{TrustMatrix, TrustMatrixBuilder};
+use gossiptrust_core::params::Params;
+use gossiptrust_core::power_nodes::Prior;
+use gossiptrust_core::vector::ReputationVector;
+use gossiptrust_gossip::engine::{EngineConfig, VectorGossipEngine};
+use gossiptrust_gossip::UniformChooser;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// Sparse ring-of-trust matrix: degree 2, deterministic, O(n) to build —
+/// keeps setup cheap even at n = 4000 (the step cost is layout-dominated,
+/// not matrix-dominated, so the matrix shape is irrelevant here).
+fn ring_matrix(n: usize) -> TrustMatrix {
+    let mut b = TrustMatrixBuilder::new(n);
+    for i in 0..n {
+        b.record(NodeId::from_index(i), NodeId::from_index((i + 1) % n), 3.0);
+        b.record(NodeId::from_index(i), NodeId::from_index((i + 7) % n), 1.0);
+    }
+    b.build()
+}
+
+fn seeded_engine(n: usize, threads: usize, m: &TrustMatrix) -> VectorGossipEngine {
+    let config = EngineConfig::from_params(&Params::for_network(n), n).with_threads(threads);
+    let mut engine = VectorGossipEngine::new(n, config);
+    engine.seed(m, &ReputationVector::uniform(n), &Prior::uniform(n), 0.15);
+    engine
+}
+
+fn bench_engine_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_step");
+    group.sample_size(10);
+    for &n in &[250usize, 1_000, 4_000] {
+        let m = ring_matrix(n);
+        // n² triplets move per step.
+        group.throughput(Throughput::Elements((n * n) as u64));
+        for &threads in &[1usize, 4] {
+            let label = if threads == 1 { "seq" } else { "par4" };
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                let mut engine = seeded_engine(n, threads, &m);
+                let mut rng = StdRng::seed_from_u64(6);
+                // `par_step` with one thread *is* the sequential step.
+                b.iter(|| {
+                    black_box(engine.par_step(&UniformChooser, &mut rng));
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3))
+        .sample_size(10)
+}
+
+criterion_group!(name = benches; config = short(); targets = bench_engine_step);
+criterion_main!(benches);

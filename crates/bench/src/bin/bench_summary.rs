@@ -1,0 +1,130 @@
+//! Distill the engine-step benchmark into `BENCH_engine.json`.
+//!
+//! Measures ns/step of the vector gossip engine, sequential (`threads = 1`)
+//! vs pool-parallel (`threads = 4`), at n ∈ {250, 1000, 4000}, and writes a
+//! machine-readable record to start the perf trajectory:
+//!
+//! ```text
+//! cargo run --release -p gossiptrust-bench --bin bench_summary
+//! ```
+//!
+//! Set `GT_BENCH_QUICK=1` for a seconds-long smoke pass at reduced sizes
+//! (recorded as such in the JSON). The JSON always records the measuring
+//! machine's core count — a speedup near 1.0 on a single-core box is the
+//! expected honest result, not a regression.
+
+use gossiptrust_core::id::NodeId;
+use gossiptrust_core::matrix::{TrustMatrix, TrustMatrixBuilder};
+use gossiptrust_core::params::Params;
+use gossiptrust_core::power_nodes::Prior;
+use gossiptrust_core::vector::ReputationVector;
+use gossiptrust_gossip::engine::{EngineConfig, VectorGossipEngine};
+use gossiptrust_gossip::UniformChooser;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+struct Sample {
+    n: usize,
+    threads: usize,
+    ns_per_step: f64,
+    steps_timed: usize,
+}
+
+fn ring_matrix(n: usize) -> TrustMatrix {
+    let mut b = TrustMatrixBuilder::new(n);
+    for i in 0..n {
+        b.record(NodeId::from_index(i), NodeId::from_index((i + 1) % n), 3.0);
+        b.record(NodeId::from_index(i), NodeId::from_index((i + 7) % n), 1.0);
+    }
+    b.build()
+}
+
+/// Median-of-batches ns/step: warm up (which also spawns the pool), then
+/// time batches of steps until the budget is spent and take the median
+/// batch — robust to one-off scheduling noise without criterion.
+fn measure(n: usize, threads: usize, budget_ms: u64) -> Sample {
+    let m = ring_matrix(n);
+    let config = EngineConfig::from_params(&Params::for_network(n), n).with_threads(threads);
+    let mut engine = VectorGossipEngine::new(n, config);
+    engine.seed(&m, &ReputationVector::uniform(n), &Prior::uniform(n), 0.15);
+    let mut rng = StdRng::seed_from_u64(6);
+    for _ in 0..3 {
+        black_box(engine.par_step(&UniformChooser, &mut rng));
+    }
+    // Size batches so one batch is ~1/10 of the budget but ≥ 1 step.
+    let probe = Instant::now();
+    black_box(engine.par_step(&UniformChooser, &mut rng));
+    let per_step = probe.elapsed().as_nanos().max(1) as u64;
+    let batch = ((budget_ms * 100_000) / per_step).clamp(1, 10_000) as usize;
+
+    let mut batches: Vec<f64> = Vec::new();
+    let mut steps_timed = 0;
+    let started = Instant::now();
+    while started.elapsed().as_millis() < budget_ms as u128 || batches.len() < 3 {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            black_box(engine.par_step(&UniformChooser, &mut rng));
+        }
+        batches.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+        steps_timed += batch;
+    }
+    batches.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    Sample { n, threads, ns_per_step: batches[batches.len() / 2], steps_timed }
+}
+
+fn main() {
+    let quick = std::env::var("GT_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let (sizes, budget_ms): (&[usize], u64) =
+        if quick { (&[60, 120], 200) } else { (&[250, 1_000, 4_000], 2_000) };
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+
+    let mut samples = Vec::new();
+    for &n in sizes {
+        for threads in [1usize, 4] {
+            let s = measure(n, threads, budget_ms);
+            println!(
+                "n={:5}  threads={}  {:>12.0} ns/step  ({} steps timed)",
+                s.n, s.threads, s.ns_per_step, s.steps_timed
+            );
+            samples.push(s);
+        }
+    }
+
+    // Headline: parallel speedup at the largest size.
+    let largest = *sizes.last().expect("sizes non-empty");
+    let seq = samples
+        .iter()
+        .find(|s| s.n == largest && s.threads == 1)
+        .expect("seq sample exists");
+    let par = samples
+        .iter()
+        .find(|s| s.n == largest && s.threads == 4)
+        .expect("par sample exists");
+    let speedup = seq.ns_per_step / par.ns_per_step;
+    println!("\nspeedup at n={largest} with 4 threads on {cores} core(s): {speedup:.2}x");
+
+    // Hand-rolled JSON: flat numeric records, nothing needing escaping.
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"engine_step\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!("  \"cores\": {cores},\n"));
+    json.push_str(&format!(
+        "  \"speedup_largest_n_4_threads\": {speedup:.4},\n"
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"n\": {}, \"threads\": {}, \"ns_per_step\": {:.1}, \"steps_timed\": {}}}{}\n",
+            s.n,
+            s.threads,
+            s.ns_per_step,
+            s.steps_timed,
+            if i + 1 < samples.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+    println!("wrote BENCH_engine.json");
+}

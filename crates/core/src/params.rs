@@ -46,6 +46,14 @@ pub struct Params {
     /// patience makes the detector robust to transient plateaus while the
     /// consensus factor `w` is still spreading.
     pub gossip_patience: usize,
+    /// Worker threads for the gossip engine's parallel step. `0` (the
+    /// default) means *auto*: honor the `GT_THREADS` environment variable
+    /// if set, else use the machine's available parallelism. See
+    /// [`Params::resolved_threads`]. Results are independent of this
+    /// setting — the engine's parallel path is bit-identical to its
+    /// sequential path.
+    #[serde(default)]
+    pub threads: usize,
 }
 
 impl Default for Params {
@@ -62,6 +70,7 @@ impl Default for Params {
             max_cycles: 200,
             max_gossip_steps: 10_000,
             gossip_patience: 2,
+            threads: 0,
         }
     }
 }
@@ -99,6 +108,33 @@ impl Params {
     pub fn with_malicious_fraction(mut self, gamma: f64) -> Self {
         self.malicious_fraction = gamma;
         self
+    }
+
+    /// Builder-style setter for the gossip worker thread count
+    /// (`0` = auto, see [`Params::resolved_threads`]).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Resolve the effective gossip worker thread count: an explicit
+    /// [`Params::threads`] wins; otherwise the `GT_THREADS` environment
+    /// variable (if set to a positive integer); otherwise the machine's
+    /// available parallelism.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        if let Ok(raw) = std::env::var("GT_THREADS") {
+            if let Ok(t) = raw.trim().parse::<usize>() {
+                if t >= 1 {
+                    return t;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
     }
 
     /// Validate parameter domains; returns a human-readable violation if any.
@@ -171,6 +207,22 @@ mod tests {
         assert!(Params::default().with_delta(0.0).validate().is_err());
         assert!(Params::default().with_epsilon(-1.0).validate().is_err());
         assert!(Params { gossip_patience: 0, ..Params::default() }.validate().is_err());
+    }
+
+    #[test]
+    fn explicit_threads_win_resolution() {
+        // An explicit setting bypasses env/machine lookup entirely.
+        assert_eq!(Params::default().with_threads(3).resolved_threads(), 3);
+        // Auto mode resolves to *something* usable.
+        assert!(Params::default().resolved_threads() >= 1);
+    }
+
+    #[test]
+    fn threads_default_is_auto() {
+        // 0 = auto; `#[serde(default)]` keeps configs written before the
+        // knob existed deserializable.
+        assert_eq!(Params::default().threads, 0);
+        assert_eq!(Params::for_network(500).threads, 0);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! `GT_QUICK=1 cargo run --release -p gossiptrust-experiments --bin all`
 //! for a fast smoke pass; the default paper scale takes minutes.
 
-use gossiptrust_experiments::{ablations, figures, Scale, TextTable};
+use gossiptrust_experiments::{ablations, figures, gossip_threads, Scale, TextTable};
 
 fn banner(name: &str) {
     println!("\n=== {name} {}\n", "=".repeat(60_usize.saturating_sub(name.len())));
@@ -13,6 +13,7 @@ fn banner(name: &str) {
 fn main() {
     let scale = Scale::from_env();
     println!("GossipTrust full evaluation at {scale:?} scale (GT_QUICK=1 for quick)");
+    println!("gossip threads: {} (override with GT_THREADS)", gossip_threads());
 
     banner("Table 1 (worked example)");
     let (rows, consensus) = figures::table1();

@@ -2,11 +2,12 @@
 //! three network sizes. Set `GT_QUICK=1` for a reduced-scale run.
 
 use gossiptrust_experiments::figures::fig3;
-use gossiptrust_experiments::{Scale, TextTable};
+use gossiptrust_experiments::{gossip_threads, Scale, TextTable};
 
 fn main() {
     let scale = Scale::from_env();
     println!("Fig. 3 — gossip steps per aggregation cycle vs ε ({scale:?} scale)\n");
+    println!("gossip threads: {} (override with GT_THREADS)\n", gossip_threads());
     let rows = fig3(scale);
     let mut t = TextTable::new(vec!["n", "epsilon", "steps (mean)", "steps (std)"]);
     for r in &rows {

@@ -2,7 +2,7 @@
 //! malicious peers, for greedy factors α ∈ {0, 0.15, 0.3}.
 
 use gossiptrust_experiments::figures::fig4a;
-use gossiptrust_experiments::{Scale, TextTable};
+use gossiptrust_experiments::{gossip_threads, Scale, TextTable};
 
 fn main() {
     let scale = Scale::from_env();
@@ -10,6 +10,7 @@ fn main() {
         "Fig. 4(a) — RMS error (Eq. 8) vs %% independent malicious peers, n = {} ({scale:?} scale)\n",
         scale.n()
     );
+    println!("gossip threads: {} (override with GT_THREADS)\n", gossip_threads());
     let rows = fig4a(scale);
     let mut t = TextTable::new(vec!["alpha", "gamma", "rms error", "std"]);
     for r in &rows {

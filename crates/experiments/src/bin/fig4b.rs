@@ -2,7 +2,7 @@
 //! peers vs collusion group size, with and without power nodes.
 
 use gossiptrust_experiments::figures::fig4b;
-use gossiptrust_experiments::{Scale, TextTable};
+use gossiptrust_experiments::{gossip_threads, Scale, TextTable};
 
 fn main() {
     let scale = Scale::from_env();
@@ -10,6 +10,7 @@ fn main() {
         "Fig. 4(b) — RMS error (Eq. 8) under collusion, n = {} ({scale:?} scale)\n",
         scale.n()
     );
+    println!("gossip threads: {} (override with GT_THREADS)\n", gossip_threads());
     let rows = fig4b(scale);
     let mut t = TextTable::new(vec!["alpha", "gamma", "group size", "rms error", "std"]);
     for r in &rows {

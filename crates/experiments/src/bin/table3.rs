@@ -2,7 +2,7 @@
 //! convergence-threshold settings.
 
 use gossiptrust_experiments::figures::table3;
-use gossiptrust_experiments::{Scale, TextTable};
+use gossiptrust_experiments::{gossip_threads, Scale, TextTable};
 
 fn main() {
     let scale = Scale::from_env();
@@ -10,6 +10,7 @@ fn main() {
         "Table 3 — errors under three (ε, δ) settings, n = {} ({scale:?} scale)\n",
         scale.n()
     );
+    println!("gossip threads: {} (override with GT_THREADS)\n", gossip_threads());
     let rows = table3(scale);
     let mut t = TextTable::new(vec![
         "epsilon",

@@ -19,7 +19,9 @@
 //!
 //! Scale control: set `GT_QUICK=1` to run every experiment at reduced
 //! network size / seed count (used by CI); the default is the paper scale
-//! recorded in EXPERIMENTS.md.
+//! recorded in EXPERIMENTS.md. `GT_SEEDS` and `GT_N` override seed count
+//! and network size; `GT_THREADS` pins the gossip engine's worker thread
+//! count (results are bit-identical for any value, only wall time moves).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,5 +32,5 @@ pub mod scale;
 pub mod stats;
 pub mod table;
 
-pub use scale::Scale;
+pub use scale::{gossip_threads, Scale};
 pub use table::TextTable;

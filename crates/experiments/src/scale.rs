@@ -1,5 +1,16 @@
 //! Experiment scale selection.
 
+use gossiptrust_core::params::Params;
+
+/// The gossip worker thread count the experiments will run with
+/// (`GT_THREADS` env override, else the machine's available parallelism) —
+/// printed by the binaries so recorded runs are attributable. Thread count
+/// never changes results, only wall time: the engine's parallel step is
+/// bit-identical to its sequential step.
+pub fn gossip_threads() -> usize {
+    Params::default().resolved_threads()
+}
+
 /// How big to run the experiments.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Scale {

@@ -190,12 +190,8 @@ impl GossipTrustAggregator {
             engine.seed(matrix, &current, &prior, self.params.alpha);
             let stats_before = engine.stats();
             let (gossip_steps, gossip_converged) = engine.run(chooser, rng);
-            let mut cycle_stats_raw = engine.stats();
             // Per-cycle counters = difference against the running totals.
-            cycle_stats_raw.steps -= stats_before.steps;
-            cycle_stats_raw.messages_sent -= stats_before.messages_sent;
-            cycle_stats_raw.messages_dropped -= stats_before.messages_dropped;
-            cycle_stats_raw.triplets_sent -= stats_before.triplets_sent;
+            let cycle_stats = engine.stats().diff(&stats_before);
 
             let estimate = engine.mean_estimate();
             let gossip_error = rms_relative_error(&exact, &estimate);
@@ -212,7 +208,7 @@ impl GossipTrustAggregator {
                 gossip_converged,
                 gossip_error,
                 residual: outer.last_residual(),
-                stats: cycle_stats_raw,
+                stats: cycle_stats,
             });
             current = next;
 

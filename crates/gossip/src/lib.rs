@@ -22,8 +22,12 @@
 //! The engine is *synchronous-round* and fully deterministic given a seed:
 //! one [`engine::VectorGossipEngine::step`] models the paper's "gossip step"
 //! in which every node sends once and then merges everything it received.
-//! An asynchronous, message-passing implementation of the same protocol
-//! lives in the `gossiptrust-net` crate.
+//! Its state lives in flat slab-partitioned arenas computed by a persistent
+//! worker pool; the parallel step is bit-identical to the sequential one
+//! for any thread count (see the [`engine`] module docs for the
+//! determinism contract and the `GT_THREADS` knob). An asynchronous,
+//! message-passing implementation of the same protocol lives in the
+//! `gossiptrust-net` crate.
 //!
 //! ```
 //! use gossiptrust_core::prelude::*;

@@ -29,6 +29,27 @@ impl GossipStats {
         self.triplets_sent += other.triplets_sent;
     }
 
+    /// Counter deltas accumulated since `before` was captured (the inverse
+    /// of [`absorb`](Self::absorb)): `before.diff(&after)` on a monotonic
+    /// engine counter yields exactly the activity of the interval. Panics
+    /// (in debug) if `before` is not a prefix of `self` — counters never
+    /// decrease.
+    pub fn diff(&self, before: &GossipStats) -> GossipStats {
+        debug_assert!(
+            self.steps >= before.steps
+                && self.messages_sent >= before.messages_sent
+                && self.messages_dropped >= before.messages_dropped
+                && self.triplets_sent >= before.triplets_sent,
+            "diff against a later snapshot"
+        );
+        GossipStats {
+            steps: self.steps - before.steps,
+            messages_sent: self.messages_sent - before.messages_sent,
+            messages_dropped: self.messages_dropped - before.messages_dropped,
+            triplets_sent: self.triplets_sent - before.triplets_sent,
+        }
+    }
+
     /// Fraction of sent messages that were dropped (0 when nothing sent).
     pub fn drop_rate(&self) -> f64 {
         if self.messages_sent == 0 {
@@ -49,6 +70,17 @@ mod tests {
         let b = GossipStats { steps: 2, messages_sent: 5, messages_dropped: 0, triplets_sent: 50 };
         a.absorb(&b);
         assert_eq!(a, GossipStats { steps: 3, messages_sent: 15, messages_dropped: 2, triplets_sent: 150 });
+    }
+
+    #[test]
+    fn diff_inverts_absorb() {
+        let before = GossipStats { steps: 1, messages_sent: 10, messages_dropped: 2, triplets_sent: 100 };
+        let delta = GossipStats { steps: 2, messages_sent: 5, messages_dropped: 1, triplets_sent: 50 };
+        let mut after = before;
+        after.absorb(&delta);
+        assert_eq!(after.diff(&before), delta);
+        // Diffing against itself is the zero delta.
+        assert_eq!(after.diff(&after), GossipStats::default());
     }
 
     #[test]

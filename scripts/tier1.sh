@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build + full test suite, then a quick end-to-end smoke of
+# the experiment harness (which exercises the parallel gossip path on any
+# multi-core machine — the engine auto-sizes to GT_THREADS or the
+# available parallelism).
+#
+#   scripts/tier1.sh            # full gate
+#   GT_THREADS=2 scripts/tier1.sh   # pin the gossip thread count
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+
+echo
+echo "=== GT_QUICK=1 smoke of the full experiment harness ==="
+GT_QUICK=1 cargo run --release -p gossiptrust-experiments --bin all
+
+echo
+echo "tier-1 gate passed"
