@@ -115,8 +115,8 @@ impl EigenTrust {
                 next[j] = acc;
             }
             prior.mix_into(&mut next, self.params.alpha);
-            let next_vec = ReputationVector::from_weights(next)
-                .expect("stochastic iterate stays valid");
+            let next_vec =
+                ReputationVector::from_weights(next).expect("stochastic iterate stays valid");
             let hit = outer.observe(&next_vec);
             current = next_vec;
             if hit {
@@ -155,8 +155,7 @@ mod tests {
         let report = et.compute(&m);
         assert!(report.converged);
 
-        let oracle = PowerIteration::new(params)
-            .solve(&m, &Prior::over_nodes(n, &pretrusted));
+        let oracle = PowerIteration::new(params).solve(&m, &Prior::over_nodes(n, &pretrusted));
         let err = oracle.vector.rms_relative_error(&report.vector).unwrap();
         assert!(err < 1e-4, "rms vs oracle {err}");
     }
@@ -168,7 +167,12 @@ mod tests {
         let et = EigenTrust::new(Params::for_network(n), vec![NodeId(0)]);
         let report = et.compute(&m);
         assert!(report.fetches > 0);
-        assert!(report.dht_hops >= report.fetches / 2, "hops {} fetches {}", report.dht_hops, report.fetches);
+        assert!(
+            report.dht_hops >= report.fetches / 2,
+            "hops {} fetches {}",
+            report.dht_hops,
+            report.fetches
+        );
         // Fetches per cycle ≈ nnz (+ dangling count).
         let per_cycle = report.fetches / report.cycles as u64;
         assert!(per_cycle as usize >= m.nnz());

@@ -99,10 +99,10 @@ impl PowerTrust {
         outer.observe(&current);
 
         let one_cycle = |current: &ReputationVector,
-                             prior: &Prior,
-                             alpha: f64,
-                             fetches: &mut u64,
-                             dht_hops: &mut u64|
+                         prior: &Prior,
+                         alpha: f64,
+                         fetches: &mut u64,
+                         dht_hops: &mut u64|
          -> ReputationVector {
             let mut next = vec![0.0; n];
             let mut dangling_mass = 0.0;
@@ -210,8 +210,8 @@ mod tests {
         let pt = PowerTrust::new(params.clone());
         let report = pt.compute(&m);
         assert!(report.converged);
-        let oracle = PowerIteration::new(params)
-            .solve(&m, &Prior::over_nodes(n, &report.power_nodes));
+        let oracle =
+            PowerIteration::new(params).solve(&m, &Prior::over_nodes(n, &report.power_nodes));
         let err = oracle.vector.rms_relative_error(&report.vector).unwrap();
         assert!(err < 1e-4, "rms {err}");
     }
@@ -227,11 +227,7 @@ mod tests {
         assert!(pt.converged);
         let plain = PowerIteration::new(params.with_alpha(0.0)).solve(&m, &Prior::uniform(n));
         let pt_total = pt.initial_cycles + pt.accelerated_cycles;
-        assert!(
-            pt_total <= plain.cycles,
-            "PowerTrust {pt_total} vs plain {}",
-            plain.cycles
-        );
+        assert!(pt_total <= plain.cycles, "PowerTrust {pt_total} vs plain {}", plain.cycles);
     }
 
     #[test]

@@ -4,8 +4,8 @@ use gossiptrust_baselines::{Chord, NoTrust};
 use gossiptrust_core::id::NodeId;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
 use rand::Rng;
+use rand::SeedableRng;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]

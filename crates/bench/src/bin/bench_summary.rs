@@ -1,15 +1,17 @@
-//! Distill the engine-step benchmark into `BENCH_engine.json`.
+//! Distill the engine-step and service-query benchmarks into
+//! `BENCH_engine.json` and `BENCH_service.json`.
 //!
 //! Measures ns/step of the vector gossip engine, sequential (`threads = 1`)
-//! vs pool-parallel (`threads = 4`), at n ∈ {250, 1000, 4000}, and writes a
-//! machine-readable record to start the perf trajectory:
+//! vs pool-parallel (`threads = 4`), at n ∈ {250, 1000, 4000}, then drives
+//! a Zipf query mix against an in-process reputation service, and writes
+//! both machine-readable records to continue the perf trajectory:
 //!
 //! ```text
 //! cargo run --release -p gossiptrust-bench --bin bench_summary
 //! ```
 //!
 //! Set `GT_BENCH_QUICK=1` for a seconds-long smoke pass at reduced sizes
-//! (recorded as such in the JSON). The JSON always records the measuring
+//! (recorded as such in both JSONs). Both files record the measuring
 //! machine's core count — a speedup near 1.0 on a single-core box is the
 //! expected honest result, not a regression.
 
@@ -76,8 +78,11 @@ fn measure(n: usize, threads: usize, budget_ms: u64) -> Sample {
 
 fn main() {
     let quick = std::env::var("GT_BENCH_QUICK").is_ok_and(|v| v == "1");
-    let (sizes, budget_ms): (&[usize], u64) =
-        if quick { (&[60, 120], 200) } else { (&[250, 1_000, 4_000], 2_000) };
+    let (sizes, budget_ms): (&[usize], u64) = if quick {
+        (&[60, 120], 200)
+    } else {
+        (&[250, 1_000, 4_000], 2_000)
+    };
     let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
 
     let mut samples = Vec::new();
@@ -110,9 +115,7 @@ fn main() {
     json.push_str("  \"bench\": \"engine_step\",\n");
     json.push_str(&format!("  \"quick\": {quick},\n"));
     json.push_str(&format!("  \"cores\": {cores},\n"));
-    json.push_str(&format!(
-        "  \"speedup_largest_n_4_threads\": {speedup:.4},\n"
-    ));
+    json.push_str(&format!("  \"speedup_largest_n_4_threads\": {speedup:.4},\n"));
     json.push_str("  \"results\": [\n");
     for (i, s) in samples.iter().enumerate() {
         json.push_str(&format!(
@@ -127,4 +130,48 @@ fn main() {
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
     println!("wrote BENCH_engine.json");
+
+    service_summary(quick, cores);
+}
+
+/// Sibling record: queries/sec and tail latency of the reputation service
+/// under a Zipf query mix, with epochs interleaved. Same `cores` field as
+/// the engine record so the two stay comparable machine-to-machine.
+fn service_summary(quick: bool, cores: usize) {
+    use gossiptrust_core::id::NodeId as Id;
+    use gossiptrust_serve::loadgen::{report_json, run, LoadConfig};
+    use gossiptrust_serve::service::{ReputationService, ServiceConfig};
+    use rand::Rng;
+
+    let n = if quick { 120 } else { 1_000 };
+    let service = ReputationService::start(ServiceConfig::new(n).with_seed(7));
+    let handle = service.handle();
+    let mut rng = StdRng::seed_from_u64(11);
+    for rater in 0..n {
+        for _ in 0..8 {
+            let target = rng.random_range(0..n);
+            if target != rater {
+                handle
+                    .record(Id::from_index(rater), Id::from_index(target), 1.0)
+                    .expect("in range");
+            }
+        }
+    }
+    handle.run_epoch_now().expect("epoch loop alive");
+
+    let config = LoadConfig {
+        queries: if quick { 5_000 } else { 100_000 },
+        epoch_every: if quick { 2_000 } else { 25_000 },
+        ..LoadConfig::default()
+    };
+    let report = run(&handle, &config);
+    println!(
+        "service n={n}  {:.0} q/s  p50 = {:.1} µs  p99 = {:.1} µs  epoch = {:.1} ms",
+        report.queries_per_sec, report.p50_us, report.p99_us, report.epoch_wall_ms
+    );
+    let mut doc = report_json(&report, n, cores, quick);
+    doc.push('\n');
+    std::fs::write("BENCH_service.json", &doc).expect("write BENCH_service.json");
+    println!("wrote BENCH_service.json");
+    service.shutdown();
 }

@@ -20,10 +20,7 @@ pub struct TrustMatrixBuilder {
 impl TrustMatrixBuilder {
     /// A builder for an `n`-node network with no feedback yet.
     pub fn new(n: usize) -> Self {
-        TrustMatrixBuilder {
-            n,
-            rows: vec![LocalTrust::new(); n],
-        }
+        TrustMatrixBuilder { n, rows: vec![LocalTrust::new(); n] }
     }
 
     /// Network size this builder was created for.

@@ -2,6 +2,27 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Strictly parse a positive-integer environment knob.
+///
+/// Returns `None` when `name` is unset or set to the empty string (shells
+/// spell "unset" as `VAR=`), `Some(v)` for a positive integer, and
+/// **panics** with a clear message on anything else. Knobs like
+/// `GT_THREADS`, `GT_SEEDS` and `GT_EPOCH_MS` route through here: a typo'd
+/// value silently falling back to a default is how a pinned 32-thread run
+/// quietly becomes a serial one — better to die loudly at startup.
+pub fn strict_positive_env(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return None;
+    }
+    match trimmed.parse::<u64>() {
+        Ok(v) if v >= 1 => Some(v),
+        Ok(_) => panic!("{name} must be a positive integer (>= 1), got {raw:?}"),
+        Err(_) => panic!("{name} must be a positive integer, got {raw:?}"),
+    }
+}
+
 /// GossipTrust system parameters.
 ///
 /// The default values reproduce Table 2 of the paper ("Parameters and Default
@@ -79,11 +100,7 @@ impl Params {
     /// Parameters for a network of `n` peers, everything else at Table 2
     /// defaults (with `q` scaled to 1% of `n`, minimum 1).
     pub fn for_network(n: usize) -> Self {
-        Params {
-            n,
-            max_power_nodes: (n / 100).max(1),
-            ..Params::default()
-        }
+        Params { n, max_power_nodes: (n / 100).max(1), ..Params::default() }
     }
 
     /// Builder-style setter for the greedy factor `α`.
@@ -119,22 +136,21 @@ impl Params {
 
     /// Resolve the effective gossip worker thread count: an explicit
     /// [`Params::threads`] wins; otherwise the `GT_THREADS` environment
-    /// variable (if set to a positive integer); otherwise the machine's
-    /// available parallelism.
+    /// variable; otherwise the machine's available parallelism.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `GT_THREADS` is set to something other than a positive
+    /// integer (see [`strict_positive_env`]) — a malformed knob must not
+    /// silently degrade to the fallback.
     pub fn resolved_threads(&self) -> usize {
         if self.threads > 0 {
             return self.threads;
         }
-        if let Ok(raw) = std::env::var("GT_THREADS") {
-            if let Ok(t) = raw.trim().parse::<usize>() {
-                if t >= 1 {
-                    return t;
-                }
-            }
+        if let Some(t) = strict_positive_env("GT_THREADS") {
+            return t as usize;
         }
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
     }
 
     /// Validate parameter domains; returns a human-readable violation if any.
@@ -152,10 +168,7 @@ impl Params {
             ));
         }
         if self.d_avg > self.d_max {
-            return Err(format!(
-                "d_avg ({}) must not exceed d_max ({})",
-                self.d_avg, self.d_max
-            ));
+            return Err(format!("d_avg ({}) must not exceed d_max ({})", self.d_avg, self.d_max));
         }
         if self.delta <= 0.0 || self.epsilon <= 0.0 {
             return Err("delta and epsilon must be positive".into());
@@ -223,6 +236,44 @@ mod tests {
         // knob existed deserializable.
         assert_eq!(Params::default().threads, 0);
         assert_eq!(Params::for_network(500).threads, 0);
+    }
+
+    #[test]
+    fn strict_env_accepts_positive_integers() {
+        // Unique var names per case: the environment is process-global and
+        // tests run concurrently, so each test owns its own variable.
+        std::env::set_var("GT_TEST_STRICT_OK", "12");
+        assert_eq!(strict_positive_env("GT_TEST_STRICT_OK"), Some(12));
+        std::env::set_var("GT_TEST_STRICT_WS", "  3 ");
+        assert_eq!(strict_positive_env("GT_TEST_STRICT_WS"), Some(3));
+    }
+
+    #[test]
+    fn strict_env_treats_unset_and_empty_as_none() {
+        assert_eq!(strict_positive_env("GT_TEST_STRICT_UNSET"), None);
+        std::env::set_var("GT_TEST_STRICT_EMPTY", "");
+        assert_eq!(strict_positive_env("GT_TEST_STRICT_EMPTY"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "GT_TEST_STRICT_WORD must be a positive integer")]
+    fn strict_env_panics_on_malformed_value() {
+        std::env::set_var("GT_TEST_STRICT_WORD", "four");
+        strict_positive_env("GT_TEST_STRICT_WORD");
+    }
+
+    #[test]
+    #[should_panic(expected = "GT_TEST_STRICT_ZERO must be a positive integer")]
+    fn strict_env_panics_on_zero() {
+        std::env::set_var("GT_TEST_STRICT_ZERO", "0");
+        strict_positive_env("GT_TEST_STRICT_ZERO");
+    }
+
+    #[test]
+    #[should_panic(expected = "GT_TEST_STRICT_NEG must be a positive integer")]
+    fn strict_env_panics_on_negative() {
+        std::env::set_var("GT_TEST_STRICT_NEG", "-2");
+        strict_positive_env("GT_TEST_STRICT_NEG");
     }
 
     #[test]

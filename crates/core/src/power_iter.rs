@@ -97,9 +97,7 @@ impl PowerIteration {
             prior.mix_into(&mut next, self.params.alpha);
             let next_vec = ReputationVector::from_weights(next.clone())
                 .expect("stochastic product of non-negative inputs stays valid");
-            let residual = current
-                .avg_relative_error(&next_vec)
-                .expect("same dimension");
+            let residual = current.avg_relative_error(&next_vec).expect("same dimension");
             history.push(residual);
             current = next_vec;
             if residual < self.params.delta {
@@ -124,7 +122,11 @@ impl PowerIteration {
 
     /// Fallible variant of [`solve`](Self::solve) that returns
     /// [`CoreError::NoConvergence`] instead of a best-effort vector.
-    pub fn try_solve(&self, matrix: &TrustMatrix, prior: &Prior) -> Result<SolveOutcome, CoreError> {
+    pub fn try_solve(
+        &self,
+        matrix: &TrustMatrix,
+        prior: &Prior,
+    ) -> Result<SolveOutcome, CoreError> {
         let outcome = self.solve(matrix, prior);
         if outcome.converged {
             Ok(outcome)
@@ -223,8 +225,10 @@ mod tests {
     #[test]
     fn tighter_delta_takes_more_cycles() {
         let m = star_matrix(30);
-        let loose = PowerIteration::new(Params::for_network(30).with_delta(1e-2)).solve(&m, &Prior::uniform(30));
-        let tight = PowerIteration::new(Params::for_network(30).with_delta(1e-8)).solve(&m, &Prior::uniform(30));
+        let loose = PowerIteration::new(Params::for_network(30).with_delta(1e-2))
+            .solve(&m, &Prior::uniform(30));
+        let tight = PowerIteration::new(Params::for_network(30).with_delta(1e-8))
+            .solve(&m, &Prior::uniform(30));
         assert!(tight.cycles > loose.cycles);
     }
 
@@ -233,12 +237,7 @@ mod tests {
         // The star matrix moves mass away from the uniform start, so a single
         // cycle cannot satisfy a tight threshold.
         let m = star_matrix(64);
-        let params = Params {
-            max_cycles: 1,
-            delta: 1e-12,
-            alpha: 0.0,
-            ..Params::for_network(64)
-        };
+        let params = Params { max_cycles: 1, delta: 1e-12, alpha: 0.0, ..Params::for_network(64) };
         let err = PowerIteration::new(params).try_solve(&m, &Prior::uniform(64));
         assert!(matches!(err, Err(CoreError::NoConvergence { iterations: 1 })));
     }
@@ -246,7 +245,8 @@ mod tests {
     #[test]
     fn residual_history_is_decreasing_overall() {
         let m = star_matrix(20);
-        let out = PowerIteration::new(Params::for_network(20).with_delta(1e-9)).solve(&m, &Prior::uniform(20));
+        let out = PowerIteration::new(Params::for_network(20).with_delta(1e-9))
+            .solve(&m, &Prior::uniform(20));
         let h = &out.residual_history;
         assert!(h.len() >= 3);
         assert!(h.last().unwrap() < h.first().unwrap());
@@ -274,11 +274,6 @@ mod tests {
         let bound = cycle_bound(params.delta, 1.0 - params.alpha).unwrap();
         // Allow slack of a couple cycles for the residual metric differing
         // from the eigen-gap geometric model.
-        assert!(
-            out.cycles <= bound + 3,
-            "cycles {} exceeded bound {}",
-            out.cycles,
-            bound
-        );
+        assert!(out.cycles <= bound + 3, "cycles {} exceeded bound {}", out.cycles, bound);
     }
 }

@@ -174,7 +174,9 @@ pub fn combine_scores(qos: &ReputationVector, qof: &QofScores, theta: f64) -> Re
         .values()
         .iter()
         .zip(qof.values())
-        .map(|(&s, &f)| s.max(f64::MIN_POSITIVE).powf(theta) * f.max(f64::MIN_POSITIVE).powf(1.0 - theta))
+        .map(|(&s, &f)| {
+            s.max(f64::MIN_POSITIVE).powf(theta) * f.max(f64::MIN_POSITIVE).powf(1.0 - theta)
+        })
         .collect();
     ReputationVector::from_weights(weights).expect("positive weights")
 }

@@ -28,11 +28,17 @@ impl ReputationVector {
     /// or if all weights are zero.
     pub fn from_weights(weights: Vec<f64>) -> Result<Self, CoreError> {
         if let Some(&bad) = weights.iter().find(|w| !w.is_finite() || **w < 0.0) {
-            return Err(CoreError::InvalidScore { what: "weight must be finite and >= 0", value: bad });
+            return Err(CoreError::InvalidScore {
+                what: "weight must be finite and >= 0",
+                value: bad,
+            });
         }
         let total: f64 = weights.iter().sum();
         if total <= 0.0 {
-            return Err(CoreError::InvalidScore { what: "weights must not all be zero", value: total });
+            return Err(CoreError::InvalidScore {
+                what: "weights must not all be zero",
+                value: total,
+            });
         }
         let values = weights.into_iter().map(|w| w / total).collect();
         Ok(ReputationVector { values })
@@ -102,7 +108,13 @@ impl ReputationVector {
             .values
             .iter()
             .zip(&other.values)
-            .map(|(&v, &u)| if v > 0.0 { (v - u).abs() / v } else { (v - u).abs() })
+            .map(|(&v, &u)| {
+                if v > 0.0 {
+                    (v - u).abs() / v
+                } else {
+                    (v - u).abs()
+                }
+            })
             .sum();
         Ok(sum / n)
     }

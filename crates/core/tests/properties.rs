@@ -12,10 +12,7 @@ use proptest::prelude::*;
 
 /// A random feedback list: (from, to, amount) triples over `n` nodes.
 fn feedback_strategy(n: usize) -> impl Strategy<Value = Vec<(u32, u32, f64)>> {
-    vec(
-        (0..n as u32, 0..n as u32, 0.01f64..100.0),
-        0..(n * 4).max(1),
-    )
+    vec((0..n as u32, 0..n as u32, 0.01f64..100.0), 0..(n * 4).max(1))
 }
 
 fn build_matrix(n: usize, feedback: &[(u32, u32, f64)]) -> TrustMatrix {

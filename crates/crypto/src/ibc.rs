@@ -204,7 +204,10 @@ mod tests {
         let encoded = env.encode();
         let decoded = SignedEnvelope::decode(&encoded).unwrap();
         assert_eq!(decoded, env);
-        assert_eq!(pkg.verifier().open(&decoded).unwrap(), Bytes::from_static(b"halved gossip pair"));
+        assert_eq!(
+            pkg.verifier().open(&decoded).unwrap(),
+            Bytes::from_static(b"halved gossip pair")
+        );
     }
 
     #[test]

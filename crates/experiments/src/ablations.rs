@@ -8,17 +8,17 @@ use crate::scale::Scale;
 use crate::stats::{mean, stddev};
 use gossiptrust_baselines::eigentrust::EigenTrust;
 use gossiptrust_baselines::powertrust::PowerTrust;
+use gossiptrust_core::prelude::*;
 use gossiptrust_core::qof;
 use gossiptrust_filesharing::{
     FileSharingSession, ObjectRepConfig, ReputationBackend, SelectionPolicy, SessionConfig,
 };
-use gossiptrust_workloads::population::Population;
-use gossiptrust_core::prelude::*;
 use gossiptrust_gossip::cycle::{GossipTrustAggregator, PriorPolicy};
 use gossiptrust_gossip::engine::EngineConfig;
 use gossiptrust_simnet::sim::{AsyncGossipSim, SimConfig, TargetScope};
 use gossiptrust_simnet::{ChurnModel, LinkModel, Overlay};
 use gossiptrust_storage::{RankStorage, RankStorageConfig};
+use gossiptrust_workloads::population::Population;
 use gossiptrust_workloads::population::ThreatConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -240,8 +240,7 @@ pub fn power_node_count(scale: Scale) -> Vec<PowerNodeRow> {
         .map(|q| q.max(1))
         .collect();
     qs.dedup();
-    qs
-        .into_iter()
+    qs.into_iter()
         .map(|q| {
             let mut samples = Vec::new();
             for seed in 0..seeds {
@@ -306,7 +305,10 @@ pub fn gossip_scope(scale: Scale) -> Vec<ScopeRow> {
                 let prior = Prior::uniform(n);
                 let report = sim.run_cycle(&scenario.honest, &v0, &prior, 0.15, &mut rng);
                 let mut exact = vec![0.0; n];
-                scenario.honest.transpose_mul(v0.values(), &mut exact).expect("same n");
+                scenario
+                    .honest
+                    .transpose_mul(v0.values(), &mut exact)
+                    .expect("same n");
                 prior.mix_into(&mut exact, 0.15);
                 let err = exact
                     .iter()
@@ -380,7 +382,10 @@ pub fn churn_resilience(scale: Scale) -> Vec<ChurnRow> {
                     converged += 1;
                 }
                 let mut exact = vec![0.0; n];
-                scenario.honest.transpose_mul(v0.values(), &mut exact).expect("same n");
+                scenario
+                    .honest
+                    .transpose_mul(v0.values(), &mut exact)
+                    .expect("same n");
                 prior.mix_into(&mut exact, 0.15);
                 let err = exact
                     .iter()

@@ -7,7 +7,13 @@ fn main() {
     let scale = Scale::from_env();
     println!("Ablation — GossipTrust vs EigenTrust/DHT ({scale:?} scale)\n");
     let rows = eigentrust_vs_gossip(scale);
-    let mut t = TextTable::new(vec!["system", "rms vs oracle", "cycles", "app messages", "network messages"]);
+    let mut t = TextTable::new(vec![
+        "system",
+        "rms vs oracle",
+        "cycles",
+        "app messages",
+        "network messages",
+    ]);
     for r in &rows {
         t.row(vec![
             r.system.clone(),

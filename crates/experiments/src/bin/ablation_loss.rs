@@ -7,7 +7,12 @@ fn main() {
     let scale = Scale::from_env();
     println!("Ablation — link-failure tolerance ({scale:?} scale)\n");
     let rows = loss_tolerance(scale);
-    let mut t = TextTable::new(vec!["loss rate", "steps/cycle", "gossip error", "final rms error"]);
+    let mut t = TextTable::new(vec![
+        "loss rate",
+        "steps/cycle",
+        "gossip error",
+        "final rms error",
+    ]);
     for r in &rows {
         t.row(vec![
             format!("{:.2}", r.loss_rate),

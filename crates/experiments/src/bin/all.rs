@@ -134,7 +134,11 @@ fn main() {
     banner("Ablation: power-node count");
     let mut t = TextTable::new(vec!["q", "rms", "std"]);
     for r in ablations::power_node_count(scale) {
-        t.row(vec![r.q.to_string(), format!("{:.4}", r.rms_error), format!("{:.4}", r.std_error)]);
+        t.row(vec![
+            r.q.to_string(),
+            format!("{:.4}", r.rms_error),
+            format!("{:.4}", r.std_error),
+        ]);
     }
     print!("{}", t.render());
 

@@ -13,7 +13,13 @@ fn main() {
         scale.fig5_update_interval()
     );
     let rows = fig5(scale);
-    let mut t = TextTable::new(vec!["system", "gamma", "success (overall)", "success (steady)", "std"]);
+    let mut t = TextTable::new(vec![
+        "system",
+        "gamma",
+        "success (overall)",
+        "success (steady)",
+        "std",
+    ]);
     for r in &rows {
         t.row(vec![
             r.system.clone(),

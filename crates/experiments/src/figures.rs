@@ -191,9 +191,8 @@ pub fn table3(scale: Scale) -> Vec<Table3Row> {
                 .solve(&scenario.honest, &Prior::uniform(n));
             cycles.push(report.cycles as f64);
             steps.push(report.mean_gossip_steps());
-            let mean_cycle_err = mean(
-                &report.per_cycle.iter().map(|c| c.gossip_error).collect::<Vec<_>>(),
-            );
+            let mean_cycle_err =
+                mean(&report.per_cycle.iter().map(|c| c.gossip_error).collect::<Vec<_>>());
             gossip_err.push(mean_cycle_err);
             agg_err.push(exact.vector.rms_relative_error(&report.vector).expect("same n"));
         }
@@ -310,7 +309,8 @@ pub fn fig4a(scale: Scale) -> Vec<Fig4Row> {
     let mut rows = Vec::new();
     for &alpha in &FIG4A_ALPHAS {
         for &gamma in &FIG4A_GAMMAS {
-            let (m, s) = fig4_cell(n, ThreatConfig::independent(gamma), alpha, scale.seeds(), 23_000);
+            let (m, s) =
+                fig4_cell(n, ThreatConfig::independent(gamma), alpha, scale.seeds(), 23_000);
             rows.push(Fig4Row { alpha, gamma, group_size: 0, rms_error: m, std_error: s });
         }
     }
@@ -382,12 +382,9 @@ pub fn fig5(scale: Scale) -> Vec<Fig5Row> {
                 // not stall the whole session (same rationale as Fig. 4).
                 let mut params = Params::for_network(n);
                 params.max_cycles = 50;
-                let config = SessionConfig {
-                    selection,
-                    backend,
-                    ..SessionConfig::gossiptrust(params)
-                }
-                .scaled_down(scale.fig5_files(), scale.fig5_update_interval());
+                let config =
+                    SessionConfig { selection, backend, ..SessionConfig::gossiptrust(params) }
+                        .scaled_down(scale.fig5_files(), scale.fig5_update_interval());
                 let mut session = FileSharingSession::new(pop, config, &mut rng);
                 session.run_queries(scale.fig5_queries(), &mut rng);
                 let report = session.finish(&mut rng);

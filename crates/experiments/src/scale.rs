@@ -32,12 +32,12 @@ impl Scale {
     /// Seeds to average over (the paper averages "at least 10 runs"; we
     /// default to 5 at paper scale to keep the full harness in minutes and
     /// record the choice in EXPERIMENTS.md). Override with `GT_SEEDS` for
-    /// constrained machines.
+    /// constrained machines; a malformed value panics (strict parsing via
+    /// [`gossiptrust_core::params::strict_positive_env`]) rather than
+    /// silently running the default seed count.
     pub fn seeds(self) -> u64 {
-        if let Ok(v) = std::env::var("GT_SEEDS") {
-            if let Ok(s) = v.parse::<u64>() {
-                return s.max(1);
-            }
+        if let Some(s) = gossiptrust_core::params::strict_positive_env("GT_SEEDS") {
+            return s;
         }
         match self {
             Scale::Paper => 5,

@@ -130,10 +130,7 @@ mod tests {
             overlay.go_offline(NodeId(h));
         }
         // Pick an online requester.
-        let requester = (0..40u32)
-            .map(NodeId)
-            .find(|id| overlay.is_online(*id))
-            .unwrap();
+        let requester = (0..40u32).map(NodeId).find(|id| overlay.is_online(*id)).unwrap();
         let res = flood_search(&overlay, &catalog, requester, file, usize::MAX);
         assert!(res.holders.is_empty());
     }

@@ -122,7 +122,11 @@ mod tests {
         rep.record(7, NodeId(3), false);
         assert!(rep.acceptable(7, NodeId(3), &cfg), "one vote is below min_votes");
         rep.record(7, NodeId(3), false);
-        assert!(!rep.acceptable(7, NodeId(3), &cfg), "estimate {} should fail", rep.estimate(7, NodeId(3)));
+        assert!(
+            !rep.acceptable(7, NodeId(3), &cfg),
+            "estimate {} should fail",
+            rep.estimate(7, NodeId(3))
+        );
     }
 
     #[test]

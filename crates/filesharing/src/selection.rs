@@ -82,7 +82,12 @@ mod tests {
         let holders = [NodeId(0), NodeId(1), NodeId(2)];
         let mut seen = std::collections::HashSet::new();
         for _ in 0..200 {
-            seen.insert(SelectionPolicy::HighestReputation.select(&holders, NodeId(3), &v, &mut rng));
+            seen.insert(SelectionPolicy::HighestReputation.select(
+                &holders,
+                NodeId(3),
+                &v,
+                &mut rng,
+            ));
         }
         assert_eq!(seen.len(), 3, "cold-start ties must spread selections");
     }

@@ -277,7 +277,8 @@ impl FileSharingSession {
         self.report.queries += 1;
         self.window.queries += 1;
 
-        let flood = flood_search(&self.overlay, &self.catalog, q.requester, q.file, self.config.flood_ttl);
+        let flood =
+            flood_search(&self.overlay, &self.catalog, q.requester, q.file, self.config.flood_ttl);
         self.report.flood_messages += flood.messages;
         if flood.holders.is_empty() {
             self.report.no_holder += 1;
@@ -290,11 +291,12 @@ impl FileSharingSession {
             self.window.successes += 1;
             return;
         }
-        let policy = if self.config.exploration > 0.0 && rng.random::<f64>() < self.config.exploration {
-            SelectionPolicy::Random
-        } else {
-            self.config.selection
-        };
+        let policy =
+            if self.config.exploration > 0.0 && rng.random::<f64>() < self.config.exploration {
+                SelectionPolicy::Random
+            } else {
+                self.config.selection
+            };
         // Copy-level object-reputation filter (when enabled): skip copies
         // the community has voted fake.
         let object_filtered: Vec<NodeId> = match &self.config.object_reputation {
@@ -311,7 +313,11 @@ impl FileSharingSession {
             .copied()
             .filter(|&h| requester_row.satisfaction_balance(h) >= 0)
             .collect();
-        let pool = if acceptable.is_empty() { &object_filtered } else { &acceptable };
+        let pool = if acceptable.is_empty() {
+            &object_filtered
+        } else {
+            &acceptable
+        };
         let provider = policy.select(pool, q.requester, &self.reputation, rng);
         let authentic = rng.random::<f64>() < self.population.authenticity(provider);
         if authentic {
@@ -404,12 +410,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let pop = Population::generate(n, &ThreatConfig::independent(gamma), &mut rng);
         let params = Params::for_network(n);
-        let config = SessionConfig {
-            selection,
-            backend,
-            ..SessionConfig::gossiptrust(params)
-        }
-        .scaled_down(500, 200);
+        let config = SessionConfig { selection, backend, ..SessionConfig::gossiptrust(params) }
+            .scaled_down(500, 200);
         let mut session = FileSharingSession::new(pop, config, &mut rng);
         session.run_queries(queries, &mut rng);
         session.finish(&mut rng)
@@ -509,8 +511,22 @@ mod tests {
 
     #[test]
     fn deterministic_under_seed() {
-        let a = run_session(40, 0.2, SelectionPolicy::HighestReputation, ReputationBackend::Exact, 300, 5);
-        let b = run_session(40, 0.2, SelectionPolicy::HighestReputation, ReputationBackend::Exact, 300, 5);
+        let a = run_session(
+            40,
+            0.2,
+            SelectionPolicy::HighestReputation,
+            ReputationBackend::Exact,
+            300,
+            5,
+        );
+        let b = run_session(
+            40,
+            0.2,
+            SelectionPolicy::HighestReputation,
+            ReputationBackend::Exact,
+            300,
+            5,
+        );
         assert_eq!(a.successes, b.successes);
         assert_eq!(a.flood_messages, b.flood_messages);
     }

@@ -148,7 +148,11 @@ impl GossipTrustAggregator {
     }
 
     /// Run a full aggregation from the cold start `V(0) = uniform`.
-    pub fn aggregate<R: Rng + ?Sized>(&self, matrix: &TrustMatrix, rng: &mut R) -> AggregationReport {
+    pub fn aggregate<R: Rng + ?Sized>(
+        &self,
+        matrix: &TrustMatrix,
+        rng: &mut R,
+    ) -> AggregationReport {
         self.aggregate_with(matrix, &ReputationVector::uniform(matrix.n()), &UniformChooser, rng)
     }
 
@@ -161,9 +165,29 @@ impl GossipTrustAggregator {
         chooser: &C,
         rng: &mut R,
     ) -> AggregationReport {
+        let mut engine = VectorGossipEngine::new(matrix.n(), self.engine_config.clone());
+        self.aggregate_with_engine(&mut engine, matrix, start, chooser, rng)
+    }
+
+    /// Like [`aggregate_with`](Self::aggregate_with), but reusing a
+    /// caller-owned engine (and thereby its persistent worker pool) across
+    /// aggregations. [`VectorGossipEngine::seed`] fully resets the per-cycle
+    /// state, so the result is **bit-identical** to a run on a fresh engine
+    /// with the same RNG — only the engine's monotonic [`GossipStats`]
+    /// counters carry over (capture them before the call and use
+    /// [`GossipStats::diff`] for per-run deltas). This is what a long-running
+    /// service uses to aggregate every epoch without respawning threads.
+    pub fn aggregate_with_engine<C: TargetChooser, R: Rng + ?Sized>(
+        &self,
+        engine: &mut VectorGossipEngine,
+        matrix: &TrustMatrix,
+        start: &ReputationVector,
+        chooser: &C,
+        rng: &mut R,
+    ) -> AggregationReport {
         let n = matrix.n();
         assert_eq!(start.n(), n, "start vector size mismatch");
-        let mut engine = VectorGossipEngine::new(n, self.engine_config.clone());
+        assert_eq!(engine.n(), n, "engine size mismatch");
         for (node, targets, factor) in &self.corruption {
             engine.set_corruption(*node, targets.clone(), *factor);
         }
@@ -196,10 +220,9 @@ impl GossipTrustAggregator {
             let estimate = engine.mean_estimate();
             let gossip_error = rms_relative_error(&exact, &estimate);
 
-            let next = ReputationVector::from_weights(
-                estimate.iter().map(|&x| x.max(0.0)).collect(),
-            )
-            .expect("gossiped scores stay positive overall");
+            let next =
+                ReputationVector::from_weights(estimate.iter().map(|&x| x.max(0.0)).collect())
+                    .expect("gossiped scores stay positive overall");
 
             let hit_delta = outer.observe(&next);
             per_cycle.push(CycleStats {
@@ -238,7 +261,11 @@ impl GossipTrustAggregator {
 /// greedy factor and [`PriorPolicy`] (including the per-cycle power-node
 /// re-selection). This is the "calculated" ground truth the robustness
 /// experiments (Fig. 4) compare the gossiped result against.
-pub fn exact_reference(matrix: &TrustMatrix, params: &Params, policy: &PriorPolicy) -> ReputationVector {
+pub fn exact_reference(
+    matrix: &TrustMatrix,
+    params: &Params,
+    policy: &PriorPolicy,
+) -> ReputationVector {
     let n = matrix.n();
     let selector = PowerNodeSelector::new(params.max_power_nodes);
     let mut outer = VectorConvergence::new(params.delta);
@@ -254,8 +281,8 @@ pub fn exact_reference(matrix: &TrustMatrix, params: &Params, policy: &PriorPoli
             .transpose_mul(current.values(), &mut next)
             .expect("dimensions match");
         prior.mix_into(&mut next, params.alpha);
-        let next_vec = ReputationVector::from_weights(next.clone())
-            .expect("stochastic iterate stays valid");
+        let next_vec =
+            ReputationVector::from_weights(next.clone()).expect("stochastic iterate stays valid");
         let hit = outer.observe(&next_vec);
         current = next_vec;
         if let PriorPolicy::PowerNodesEachCycle = policy {
@@ -416,12 +443,36 @@ mod tests {
         let m = authority_matrix(n);
         let params = Params::for_network(n).with_epsilon(1e-7);
         let reference = exact_reference(&m, &params, &PriorPolicy::PowerNodesEachCycle);
-        let agg = GossipTrustAggregator::new(params)
-            .with_prior_policy(PriorPolicy::PowerNodesEachCycle);
+        let agg =
+            GossipTrustAggregator::new(params).with_prior_policy(PriorPolicy::PowerNodesEachCycle);
         let mut rng = StdRng::seed_from_u64(55);
         let report = agg.aggregate(&m, &mut rng);
         let err = reference.rms_relative_error(&report.vector).unwrap();
         assert!(err < 0.2, "adaptive reference mismatch: {err}");
+    }
+
+    /// A long-lived engine driven through several aggregations must produce
+    /// exactly what a fresh engine produces for the same RNG stream, and its
+    /// monotonic counters must diff back to the per-run totals.
+    #[test]
+    fn engine_reuse_is_bit_identical_across_aggregations() {
+        let n = 24;
+        let m = authority_matrix(n);
+        let params = Params::for_network(n);
+        let agg = GossipTrustAggregator::new(params.clone());
+        let mut engine = VectorGossipEngine::new(n, EngineConfig::from_params(&params, n));
+        let start = ReputationVector::uniform(n);
+        for seed in [5u64, 6, 7] {
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let before = engine.stats();
+            let reused =
+                agg.aggregate_with_engine(&mut engine, &m, &start, &UniformChooser, &mut rng_a);
+            let fresh = agg.aggregate_with(&m, &start, &UniformChooser, &mut rng_b);
+            assert_eq!(reused.vector.values(), fresh.vector.values(), "scores diverged");
+            assert_eq!(reused.cycles, fresh.cycles);
+            assert_eq!(engine.stats().diff(&before), fresh.total_stats());
+        }
     }
 
     #[test]

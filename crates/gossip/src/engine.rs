@@ -441,10 +441,7 @@ impl VectorGossipEngine {
     /// honesty.
     pub fn set_corruption(&mut self, node: NodeId, targets: Vec<u32>, factor: f64) {
         assert!(factor >= 0.0, "factor must be non-negative");
-        assert!(
-            targets.iter().all(|&t| (t as usize) < self.n),
-            "corruption target out of range"
-        );
+        assert!(targets.iter().all(|&t| (t as usize) < self.n), "corruption target out of range");
         let table = Arc::make_mut(&mut self.corruption);
         if targets.is_empty() || factor == 1.0 {
             table[node.index()] = None;
@@ -463,7 +460,13 @@ impl VectorGossipEngine {
     ///
     /// Summed over `i` this yields `(1−α)(Sᵀ·V)_j + α·p_j` because
     /// `Σ_i v_i = 1`, i.e. exactly one centralized iteration of Eq. 2.
-    pub fn seed(&mut self, matrix: &TrustMatrix, v_prev: &ReputationVector, prior: &Prior, alpha: f64) {
+    pub fn seed(
+        &mut self,
+        matrix: &TrustMatrix,
+        v_prev: &ReputationVector,
+        prior: &Prior,
+        alpha: f64,
+    ) {
         assert_eq!(matrix.n(), self.n, "matrix size mismatch");
         assert_eq!(v_prev.n(), self.n, "vector size mismatch");
         assert_eq!(prior.n(), self.n, "prior size mismatch");
@@ -615,10 +618,7 @@ impl VectorGossipEngine {
                 hi[j] = hi[j].max(b);
             }
         }
-        lo.iter()
-            .zip(&hi)
-            .map(|(&l, &h)| h - l)
-            .fold(0.0, f64::max)
+        lo.iter().zip(&hi).map(|(&l, &h)| h - l).fold(0.0, f64::max)
     }
 
     /// Phase 0 of a step, always sequential: draw every alive node's gossip
@@ -665,8 +665,7 @@ impl VectorGossipEngine {
                 *c += 1;
             }
         }
-        self.step_idx < self.config.corruption_steps
-            && self.corruption.iter().any(Option::is_some)
+        self.step_idx < self.config.corruption_steps && self.corruption.iter().any(Option::is_some)
     }
 
     /// Package the read-only step state, moving the current slabs and CSR
@@ -727,7 +726,11 @@ impl VectorGossipEngine {
     }
 
     /// Execute one synchronous gossip step, sequentially.
-    pub fn step<C: TargetChooser, R: Rng + ?Sized>(&mut self, chooser: &C, rng: &mut R) -> StepOutcome {
+    pub fn step<C: TargetChooser, R: Rng + ?Sized>(
+        &mut self,
+        chooser: &C,
+        rng: &mut R,
+    ) -> StepOutcome {
         let corrupt_active = self.draw_sends(chooser, rng);
         let read = self.make_read(corrupt_active);
         for task in &mut self.tasks {
@@ -784,7 +787,11 @@ impl VectorGossipEngine {
     /// using the parallel step whenever the engine is configured with more
     /// than one thread. Returns the number of steps taken in this call and
     /// whether convergence was reached.
-    pub fn run<C: TargetChooser, R: Rng + ?Sized>(&mut self, chooser: &C, rng: &mut R) -> (usize, bool) {
+    pub fn run<C: TargetChooser, R: Rng + ?Sized>(
+        &mut self,
+        chooser: &C,
+        rng: &mut R,
+    ) -> (usize, bool) {
         let parallel = self.config.threads > 1 && self.cur.len() > 1;
         let mut steps = 0;
         while steps < self.config.max_steps {
@@ -876,7 +883,8 @@ mod tests {
         let m = star(n);
         let mut engine = VectorGossipEngine::new(n, config(n));
         engine.seed(&m, &ReputationVector::uniform(n), &Prior::uniform(n), 0.0);
-        let before: Vec<(f64, f64)> = (0..n).map(|j| engine.component_mass(NodeId::from_index(j))).collect();
+        let before: Vec<(f64, f64)> =
+            (0..n).map(|j| engine.component_mass(NodeId::from_index(j))).collect();
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..30 {
             engine.step(&UniformChooser, &mut rng);
@@ -907,10 +915,8 @@ mod tests {
         m.transpose_mul(&vec![1.0 / n as f64; n], &mut exact).unwrap();
         Prior::uniform(n).mix_into(&mut exact, 0.15);
         let est = engine.mean_estimate();
-        let mean_rel: f64 = (0..n)
-            .map(|j| (est[j] - exact[j]).abs() / exact[j])
-            .sum::<f64>()
-            / n as f64;
+        let mean_rel: f64 =
+            (0..n).map(|j| (est[j] - exact[j]).abs() / exact[j]).sum::<f64>() / n as f64;
         assert!(mean_rel < 0.35, "mean rel err {mean_rel}");
     }
 
@@ -975,9 +981,8 @@ mod tests {
         }
         assert!(engine.consensus_spread().is_finite());
         engine.kill(NodeId(7));
-        let per_node: Vec<Vec<f64>> = (0..n)
-            .map(|i| engine.extract(NodeId::from_index(i)))
-            .collect();
+        let per_node: Vec<Vec<f64>> =
+            (0..n).map(|i| engine.extract(NodeId::from_index(i))).collect();
         let alive: Vec<usize> = (0..n).filter(|&i| i != 7).collect();
         // Oracle mean over alive nodes' extract values.
         let mut mean = vec![0.0; n];
@@ -998,7 +1003,10 @@ mod tests {
         let mut worst: f64 = 0.0;
         for j in 0..n {
             let lo = alive.iter().map(|&i| per_node[i][j]).fold(f64::INFINITY, f64::min);
-            let hi = alive.iter().map(|&i| per_node[i][j]).fold(f64::NEG_INFINITY, f64::max);
+            let hi = alive
+                .iter()
+                .map(|&i| per_node[i][j])
+                .fold(f64::NEG_INFINITY, f64::max);
             worst = worst.max(hi - lo);
         }
         let got = engine.consensus_spread();

@@ -70,10 +70,7 @@ impl PushSumNetwork {
     pub fn from_pairs(xs: Vec<f64>, ws: Vec<f64>, epsilon: f64, patience: usize) -> Self {
         assert_eq!(xs.len(), ws.len(), "xs and ws must have equal length");
         assert!(xs.len() >= 2, "push-sum needs at least two nodes");
-        assert!(
-            ws.iter().sum::<f64>() > 0.0,
-            "total consensus weight must be positive"
-        );
+        assert!(ws.iter().sum::<f64>() > 0.0, "total consensus weight must be positive");
         let n = xs.len();
         PushSumNetwork {
             xs,
@@ -165,12 +162,7 @@ impl PushSumNetwork {
                 break;
             }
         }
-        PushSumOutcome {
-            steps,
-            converged,
-            ratios: self.ratios(),
-            stats: self.stats,
-        }
+        PushSumOutcome { steps, converged, ratios: self.ratios(), stats: self.stats }
     }
 }
 

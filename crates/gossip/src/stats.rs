@@ -66,16 +66,22 @@ mod tests {
 
     #[test]
     fn absorb_sums_fields() {
-        let mut a = GossipStats { steps: 1, messages_sent: 10, messages_dropped: 2, triplets_sent: 100 };
+        let mut a =
+            GossipStats { steps: 1, messages_sent: 10, messages_dropped: 2, triplets_sent: 100 };
         let b = GossipStats { steps: 2, messages_sent: 5, messages_dropped: 0, triplets_sent: 50 };
         a.absorb(&b);
-        assert_eq!(a, GossipStats { steps: 3, messages_sent: 15, messages_dropped: 2, triplets_sent: 150 });
+        assert_eq!(
+            a,
+            GossipStats { steps: 3, messages_sent: 15, messages_dropped: 2, triplets_sent: 150 }
+        );
     }
 
     #[test]
     fn diff_inverts_absorb() {
-        let before = GossipStats { steps: 1, messages_sent: 10, messages_dropped: 2, triplets_sent: 100 };
-        let delta = GossipStats { steps: 2, messages_sent: 5, messages_dropped: 1, triplets_sent: 50 };
+        let before =
+            GossipStats { steps: 1, messages_sent: 10, messages_dropped: 2, triplets_sent: 100 };
+        let delta =
+            GossipStats { steps: 2, messages_sent: 5, messages_dropped: 1, triplets_sent: 50 };
         let mut after = before;
         after.absorb(&delta);
         assert_eq!(after.diff(&before), delta);

@@ -206,8 +206,10 @@ pub async fn run_autonomous<T: Transport>(
         let config = config.clone();
         let done = done_tx.clone();
         tasks.push(tokio::spawn(async move {
-            autonomous_node(i as u32, n, row, params, config, key, verifier, transport, net_rx, done)
-                .await;
+            autonomous_node(
+                i as u32, n, row, params, config, key, verifier, transport, net_rx, done,
+            )
+            .await;
         }));
     }
     drop(done_tx);
@@ -439,9 +441,7 @@ fn end_cycle(
     let locally_converged = state
         .previous_estimate
         .as_ref()
-        .map(|prev| {
-            prev.avg_relative_error(&vector).expect("same n") < params.delta
-        })
+        .map(|prev| prev.avg_relative_error(&vector).expect("same n") < params.delta)
         .unwrap_or(false);
     state.delta_passed = state.delta_passed || locally_converged;
     // Deterministic collective termination: every node runs the same

@@ -122,8 +122,12 @@ impl Cluster {
         assert_eq!(params.n, n, "params.n must match the matrix");
         match self.kind {
             TransportKind::InMemory => {
-                let (net, receivers) =
-                    InMemoryNetwork::new(n, self.config.queue_cap, self.config.loss_rate, self.config.seed);
+                let (net, receivers) = InMemoryNetwork::new(
+                    n,
+                    self.config.queue_cap,
+                    self.config.loss_rate,
+                    self.config.seed,
+                );
                 let transports: Vec<InMemoryHandle> =
                     (0..n).map(|_| InMemoryHandle::new(Arc::clone(&net))).collect();
                 self.run_with(matrix, params, transports, receivers).await

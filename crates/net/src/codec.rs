@@ -1,4 +1,4 @@
-//! Wire format for gossip pushes.
+//! Wire format for gossip pushes and feedback batches.
 //!
 //! A push carries the halved `(x, w)` vector a node shares in one gossip
 //! step, tagged with the aggregation cycle so stragglers from a finished
@@ -11,6 +11,14 @@
 //! The encoded push is the *payload* of a `gossiptrust-crypto`
 //! [`SignedEnvelope`](gossiptrust_crypto::SignedEnvelope); the envelope's
 //! sender field and tag authenticate it.
+//!
+//! A [`FeedbackBatch`] is the bulk-ingest message of the reputation
+//! service's TCP front-end: one rater's ratings for the next epoch, in the
+//! same hand-rolled little-endian style:
+//!
+//! ```text
+//! rater: u32 | epoch_hint: u32 | k: u32 | k × (target: u32 | score: f64)
+//! ```
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -68,18 +76,73 @@ impl Push {
     }
 }
 
+/// Upper bound on ratings per [`FeedbackBatch`]: a decoded length field
+/// beyond this is rejected before any allocation, so a hostile frame
+/// cannot make the decoder reserve gigabytes.
+pub const MAX_BATCH_TARGETS: usize = 1 << 16;
+
+/// One rater's bulk feedback for the next epoch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FeedbackBatch {
+    /// The rating peer (the matrix row).
+    pub rater: u32,
+    /// Client's view of the current epoch, for observability only — the
+    /// log folds whatever has arrived when the epoch boundary hits.
+    pub epoch_hint: u32,
+    /// `(target, score)` pairs.
+    pub ratings: Vec<(u32, f64)>,
+}
+
+impl FeedbackBatch {
+    /// Serialize to bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the batch exceeds [`MAX_BATCH_TARGETS`] — such a batch
+    /// could never be decoded, so encoding it is a caller bug.
+    pub fn encode(&self) -> Bytes {
+        let k = self.ratings.len();
+        assert!(k <= MAX_BATCH_TARGETS, "feedback batch too large: {k}");
+        let mut buf = BytesMut::with_capacity(12 + 12 * k);
+        buf.put_u32_le(self.rater);
+        buf.put_u32_le(self.epoch_hint);
+        buf.put_u32_le(k as u32);
+        for &(target, score) in &self.ratings {
+            buf.put_u32_le(target);
+            buf.put_f64_le(score);
+        }
+        buf.freeze()
+    }
+
+    /// Deserialize; `None` on truncated, oversized, or trailing-garbage
+    /// input.
+    pub fn decode(mut data: &[u8]) -> Option<FeedbackBatch> {
+        if data.len() < 12 {
+            return None;
+        }
+        let rater = data.get_u32_le();
+        let epoch_hint = data.get_u32_le();
+        let k = data.get_u32_le() as usize;
+        if k > MAX_BATCH_TARGETS || data.len() != 12 * k {
+            return None;
+        }
+        let mut ratings = Vec::with_capacity(k);
+        for _ in 0..k {
+            let target = data.get_u32_le();
+            let score = data.get_f64_le();
+            ratings.push((target, score));
+        }
+        Some(FeedbackBatch { rater, epoch_hint, ratings })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn roundtrip() {
-        let p = Push {
-            sender: 7,
-            cycle: 3,
-            xs: vec![0.1, 0.2, 0.0],
-            ws: vec![0.5, 0.0, 0.25],
-        };
+        let p = Push { sender: 7, cycle: 3, xs: vec![0.1, 0.2, 0.0], ws: vec![0.5, 0.0, 0.25] };
         let decoded = Push::decode(&p.encode()).unwrap();
         assert_eq!(decoded, p);
     }
@@ -104,15 +167,38 @@ mod tests {
 
     #[test]
     fn preserves_special_floats() {
-        let p = Push {
-            sender: 2,
-            cycle: 9,
-            xs: vec![f64::MIN_POSITIVE, 1e300],
-            ws: vec![0.0, -0.0],
-        };
+        let p =
+            Push { sender: 2, cycle: 9, xs: vec![f64::MIN_POSITIVE, 1e300], ws: vec![0.0, -0.0] };
         let d = Push::decode(&p.encode()).unwrap();
         assert_eq!(d.xs, p.xs);
         assert_eq!(d.ws[0].to_bits(), p.ws[0].to_bits());
         assert_eq!(d.ws[1].to_bits(), p.ws[1].to_bits());
+    }
+
+    #[test]
+    fn feedback_batch_roundtrip() {
+        let b =
+            FeedbackBatch { rater: 9, epoch_hint: 4, ratings: vec![(1, 2.5), (3, 0.0), (7, 1e-9)] };
+        assert_eq!(FeedbackBatch::decode(&b.encode()).unwrap(), b);
+        let empty = FeedbackBatch { rater: 0, epoch_hint: 0, ratings: vec![] };
+        assert_eq!(FeedbackBatch::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn feedback_batch_rejects_truncated_and_oversized() {
+        let b = FeedbackBatch { rater: 1, epoch_hint: 0, ratings: vec![(2, 1.0)] };
+        let mut raw = b.encode().to_vec();
+        raw.pop();
+        assert!(FeedbackBatch::decode(&raw).is_none());
+        raw.push(0);
+        raw.extend_from_slice(&[0; 8]);
+        assert!(FeedbackBatch::decode(&raw).is_none());
+        // A length field claiming more ratings than MAX_BATCH_TARGETS is
+        // rejected before any allocation happens.
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&1u32.to_le_bytes());
+        huge.extend_from_slice(&0u32.to_le_bytes());
+        huge.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(FeedbackBatch::decode(&huge).is_none());
     }
 }

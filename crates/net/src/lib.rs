@@ -50,5 +50,5 @@ pub mod udp;
 
 pub use autonomous::{run_autonomous, AutonomousConfig, AutonomousReport};
 pub use cluster::{Cluster, ClusterReport, NetConfig};
-pub use codec::Push;
+pub use codec::{FeedbackBatch, Push};
 pub use transport::{InMemoryNetwork, Transport};

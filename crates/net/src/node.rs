@@ -113,7 +113,8 @@ pub async fn run_node<T: Transport>(
     counters: Arc<ClusterCounters>,
 ) {
     let n = config.n;
-    let mut rng = StdRng::seed_from_u64(config.seed ^ (config.id as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    let mut rng =
+        StdRng::seed_from_u64(config.seed ^ (config.id as u64).wrapping_mul(0x9E3779B97F4A7C15));
     let mut state = NodeState {
         xs: vec![0.0; n],
         ws: vec![0.0; n],
@@ -206,7 +207,11 @@ async fn tick<T: Transport>(
         *w *= 0.5;
     }
     let raw = rng.random_range(0..n - 1);
-    let target = if raw >= config.id as usize { raw + 1 } else { raw } as u32;
+    let target = if raw >= config.id as usize {
+        raw + 1
+    } else {
+        raw
+    } as u32;
     let push = Push {
         sender: config.id,
         cycle: state.cycle,

@@ -46,7 +46,12 @@ fn mix(mut x: u64) -> u64 {
 impl InMemoryNetwork {
     /// Build a network of `n` endpoints with queue capacity `cap`; returns
     /// the shared network plus each node's receiver.
-    pub fn new(n: usize, cap: usize, loss_rate: f64, loss_seed: u64) -> (Arc<Self>, Vec<mpsc::Receiver<Bytes>>) {
+    pub fn new(
+        n: usize,
+        cap: usize,
+        loss_rate: f64,
+        loss_seed: u64,
+    ) -> (Arc<Self>, Vec<mpsc::Receiver<Bytes>>) {
         assert!((0.0..=1.0).contains(&loss_rate), "loss rate in [0,1]");
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);

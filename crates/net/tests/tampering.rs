@@ -5,10 +5,10 @@
 
 use bytes::Bytes;
 use gossiptrust_core::prelude::*;
-use gossiptrust_net::cluster::{Cluster, NetConfig};
-use gossiptrust_net::transport::{InMemoryHandle, InMemoryNetwork, Transport};
-use gossiptrust_net::node::{run_node, ClusterCounters, Control, NodeConfig};
 use gossiptrust_crypto::Pkg;
+use gossiptrust_net::cluster::{Cluster, NetConfig};
+use gossiptrust_net::node::{run_node, ClusterCounters, Control, NodeConfig};
+use gossiptrust_net::transport::{InMemoryHandle, InMemoryNetwork, Transport};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -142,9 +142,7 @@ async fn tampered_pushes_are_rejected_and_gossip_survives() {
     // hence which 10% of pushes the MITM hits) varies, and the precise
     // loss-vs-error trade is pinned by the deterministic engine tests.
     let mut exact = vec![0.0; n];
-    matrix
-        .transpose_mul(&vec![1.0 / n as f64; n], &mut exact)
-        .unwrap();
+    matrix.transpose_mul(&vec![1.0 / n as f64; n], &mut exact).unwrap();
     Prior::uniform(n).mix_into(&mut exact, 0.15);
     let mean: Vec<f64> = (0..n)
         .map(|j| estimates.iter().map(|e| e[j]).sum::<f64>() / n as f64)

@@ -1,0 +1,77 @@
+//! Replay a Zipf query mix against an in-process reputation service and
+//! write `BENCH_service.json` (queries/sec, p50/p99 latency, epoch wall
+//! time).
+//!
+//! ```text
+//! cargo run --release -p gossiptrust-serve --bin loadgen
+//! ```
+//!
+//! Set `GT_BENCH_QUICK=1` for a seconds-long smoke pass at reduced size
+//! (recorded as such in the JSON). `GT_N` overrides the population. The
+//! JSON records the measuring machine's core count the same way
+//! `BENCH_engine.json` does.
+
+use gossiptrust_core::id::NodeId;
+use gossiptrust_core::params::strict_positive_env;
+use gossiptrust_serve::loadgen::{report_json, run, LoadConfig};
+use gossiptrust_serve::service::{ReputationService, ServiceConfig};
+use gossiptrust_workloads::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let quick = std::env::var("GT_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let default_n: u64 = if quick { 120 } else { 1_000 };
+    let n = strict_positive_env("GT_N").unwrap_or(default_n) as usize;
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+
+    let service = ReputationService::start(ServiceConfig::new(n).with_seed(7));
+    let handle = service.handle();
+
+    // Seed a power-law feedback graph: every peer rates ~8 Zipf-popular
+    // targets, so the first epoch aggregates a realistic skewed matrix.
+    let zipf = Zipf::new(n, 0.8);
+    let mut rng = StdRng::seed_from_u64(11);
+    for rater in 0..n {
+        for _ in 0..8 {
+            let target = zipf.sample(&mut rng) - 1;
+            if target != rater {
+                handle
+                    .record(
+                        NodeId::from_index(rater),
+                        NodeId::from_index(target),
+                        1.0 + rng.random::<f64>(),
+                    )
+                    .expect("seeded ids are in range");
+            }
+        }
+    }
+    let first = handle.run_epoch_now().expect("epoch loop alive");
+    println!(
+        "seeded epoch 1: published = {}, cycles = {}, wall = {:.1} ms",
+        first.published, first.cycles, first.wall_ms
+    );
+
+    let config = LoadConfig {
+        queries: if quick { 5_000 } else { 200_000 },
+        epoch_every: if quick { 2_000 } else { 50_000 },
+        ..LoadConfig::default()
+    };
+    let report = run(&handle, &config);
+    println!(
+        "n={n}  {} queries ({} writes, {} epochs)  {:.0} q/s  p50 = {:.1} µs  p99 = {:.1} µs  epoch = {:.1} ms",
+        report.queries,
+        report.writes,
+        report.epochs,
+        report.queries_per_sec,
+        report.p50_us,
+        report.p99_us,
+        report.epoch_wall_ms
+    );
+
+    let mut json = report_json(&report, n, cores, quick);
+    json.push('\n');
+    std::fs::write("BENCH_service.json", &json).expect("write BENCH_service.json");
+    println!("wrote BENCH_service.json");
+    service.shutdown();
+}

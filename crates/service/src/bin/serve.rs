@@ -1,0 +1,40 @@
+//! The reputation daemon: ingest feedback, aggregate per epoch, answer
+//! queries over line-delimited JSON TCP.
+//!
+//! ```text
+//! GT_N=1000 GT_EPOCH_MS=1000 GT_SERVICE_ADDR=127.0.0.1:7401 \
+//!     cargo run --release -p gossiptrust-serve --bin serve
+//! ```
+//!
+//! Knobs (all strictly parsed — a malformed value aborts startup):
+//!
+//! * `GT_N` — peer population (default 1000)
+//! * `GT_EPOCH_MS` — epoch period in milliseconds (default 1000)
+//! * `GT_SERVICE_ADDR` — TCP listen address (default `127.0.0.1:7401`)
+//! * `GT_THREADS` — gossip engine worker threads (default: machine)
+
+use gossiptrust_core::params::strict_positive_env;
+use gossiptrust_serve::service::{ReputationService, ServiceConfig};
+
+fn main() {
+    let n = strict_positive_env("GT_N").unwrap_or(1000) as usize;
+    let addr = std::env::var("GT_SERVICE_ADDR").unwrap_or_else(|_| "127.0.0.1:7401".to_string());
+    let config = ServiceConfig::new(n).with_epoch_interval_from_env(1_000);
+    let interval = config.epoch_interval.expect("interval set from env");
+
+    let service = ReputationService::start(config);
+    println!(
+        "gossiptrust-serve: n = {n}, epoch every {} ms, listening on {addr}",
+        interval.as_millis()
+    );
+
+    let runtime = tokio::runtime::Builder::new_multi_thread()
+        .enable_all()
+        .build()
+        .expect("build tokio runtime");
+    let result = runtime.block_on(gossiptrust_serve::server::serve(service.handle(), &addr));
+    // serve() only returns on a bind/accept error; surface it and stop the
+    // epoch loop cleanly.
+    service.shutdown();
+    result.expect("serve");
+}

@@ -1,0 +1,338 @@
+//! The epoch loop: fold the feedback log, re-aggregate, publish.
+//!
+//! One [`EpochManager`] owns the persistent [`VectorGossipEngine`] (and its
+//! worker pool) for the lifetime of the service and drives it through
+//! [`GossipTrustAggregator::aggregate_with_engine`] once per epoch — each
+//! epoch reuses the warmed-up pool instead of spawning threads, and each
+//! epoch's gossip activity is recovered from the engine's monotonic
+//! counters with [`GossipStats::diff`].
+//!
+//! Epochs are deterministic: epoch `e` always aggregates with the RNG seed
+//! [`EpochManager::epoch_seed`]`(base_seed, e)` and warm-starts from the
+//! previously published vector, so any published snapshot can be re-derived
+//! bit-for-bit offline from its recorded `(matrix, start, seed)` triple
+//! (the engine's parallel step is bit-identical to sequential for any
+//! thread count, so even the thread knob does not perturb this).
+//!
+//! ## Graceful degradation
+//!
+//! An epoch publishes only when the aggregation converged (outer loop and
+//! every gossip cycle) and produced finite scores. Anything else leaves the
+//! previous snapshot serving and bumps the degradation counter — a
+//! reputation service should keep answering with slightly stale, known-good
+//! scores rather than serve a half-converged vector.
+
+use crate::log::FeedbackLog;
+use crate::snapshot::{ScoreSnapshot, SnapshotCell};
+use crate::stats::ServiceStats;
+use gossiptrust_core::params::Params;
+use gossiptrust_gossip::cycle::GossipTrustAggregator;
+use gossiptrust_gossip::engine::{EngineConfig, VectorGossipEngine};
+use gossiptrust_gossip::stats::GossipStats;
+use gossiptrust_gossip::UniformChooser;
+use gossiptrust_storage::ranks::RankStorageConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Fibonacci-hash multiplier used to derive per-epoch RNG seeds.
+const SEED_MIX: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// What one epoch did, as reported to callers of `run_epoch_now`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EpochOutcome {
+    /// 1-based epoch number.
+    pub epoch: u64,
+    /// Whether a new snapshot was published (false = degraded).
+    pub published: bool,
+    /// The snapshot version serving *after* this epoch (unchanged when
+    /// degraded).
+    pub live_version: u64,
+    /// Power-iteration cycles the aggregation ran.
+    pub cycles: usize,
+    /// Whether the outer aggregation loop converged.
+    pub converged: bool,
+    /// Gossip activity of exactly this epoch.
+    pub gossip: GossipStats,
+    /// Wall-clock milliseconds (fold + aggregate + snapshot build).
+    pub wall_ms: f64,
+}
+
+/// Control messages for the epoch loop thread.
+pub enum EpochCommand {
+    /// Run one epoch immediately and send its outcome back.
+    RunNow(Sender<EpochOutcome>),
+    /// Stop the loop (the thread exits after the current epoch, if any).
+    Shutdown,
+}
+
+/// Drives epochs over a [`FeedbackLog`], publishing into a [`SnapshotCell`].
+pub struct EpochManager {
+    log: Arc<FeedbackLog>,
+    cell: Arc<SnapshotCell>,
+    stats: Arc<ServiceStats>,
+    aggregator: GossipTrustAggregator,
+    engine: VectorGossipEngine,
+    rank_config: RankStorageConfig,
+    base_seed: u64,
+    epoch: u64,
+    version: u64,
+    /// Epoch numbers whose aggregation is deliberately crippled so it
+    /// cannot converge — the failure-injection hook the degradation tests
+    /// (and chaos drills) use.
+    fail_epochs: Vec<u64>,
+}
+
+impl EpochManager {
+    /// Build a manager for the `log`/`cell`/`stats` triple.
+    ///
+    /// The persistent engine (and its worker pool, sized per
+    /// `params.resolved_threads()`) is created here and reused for every
+    /// healthy epoch.
+    pub fn new(
+        log: Arc<FeedbackLog>,
+        cell: Arc<SnapshotCell>,
+        stats: Arc<ServiceStats>,
+        params: Params,
+        rank_config: RankStorageConfig,
+        base_seed: u64,
+        fail_epochs: Vec<u64>,
+    ) -> Self {
+        let n = log.n();
+        assert_eq!(params.n, n, "params.n must match the feedback log");
+        let engine_config = EngineConfig::from_params(&params, n);
+        let engine = VectorGossipEngine::new(n, engine_config.clone());
+        let aggregator = GossipTrustAggregator::new(params).with_engine_config(engine_config);
+        // Versions continue from whatever snapshot is already live (the
+        // bootstrap snapshot at service start).
+        let version = cell.load().version;
+        EpochManager {
+            log,
+            cell,
+            stats,
+            aggregator,
+            engine,
+            rank_config,
+            base_seed,
+            epoch: 0,
+            version,
+            fail_epochs,
+        }
+    }
+
+    /// The deterministic RNG seed of epoch `epoch` under `base_seed`.
+    pub fn epoch_seed(base_seed: u64, epoch: u64) -> u64 {
+        base_seed ^ epoch.wrapping_mul(SEED_MIX)
+    }
+
+    /// Run exactly one epoch: fold → aggregate → publish (or degrade).
+    pub fn run_epoch(&mut self) -> EpochOutcome {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        self.stats.note_epoch_started();
+        let t0 = Instant::now();
+
+        let matrix = Arc::new(self.log.fold());
+        let start = self.cell.load().vector.clone();
+        let seed = Self::epoch_seed(self.base_seed, epoch);
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let (report, delta) = if self.fail_epochs.contains(&epoch) {
+            // Injected failure: a throwaway aggregator whose gossip budget
+            // (2 steps) is below the engine's own min_steps floor, so no
+            // cycle can ever report convergence. The persistent engine and
+            // its counters are untouched.
+            let crippled_params = Params { max_cycles: 1, ..self.aggregator.params().clone() };
+            let crippled_config =
+                EngineConfig { max_steps: 2, threads: 1, ..self.engine.config().clone() };
+            let crippled =
+                GossipTrustAggregator::new(crippled_params).with_engine_config(crippled_config);
+            let report = crippled.aggregate_with(&matrix, &start, &UniformChooser, &mut rng);
+            let delta = report.total_stats();
+            (report, delta)
+        } else {
+            let before = self.engine.stats();
+            let report = self.aggregator.aggregate_with_engine(
+                &mut self.engine,
+                &matrix,
+                &start,
+                &UniformChooser,
+                &mut rng,
+            );
+            let delta = self.engine.stats().diff(&before);
+            (report, delta)
+        };
+
+        let healthy = report.converged
+            && report.per_cycle.iter().all(|c| c.gossip_converged)
+            && report.vector.values().iter().all(|v| v.is_finite());
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        if healthy {
+            self.version += 1;
+            self.cell.publish(ScoreSnapshot::from_vector(
+                self.version,
+                epoch,
+                seed,
+                start,
+                Some(matrix),
+                report.vector.clone(),
+                self.rank_config,
+                delta,
+                report.cycles,
+                report.converged,
+                wall_ms,
+            ));
+        }
+        self.stats.note_epoch_finished(healthy, &delta, wall_ms);
+
+        EpochOutcome {
+            epoch,
+            published: healthy,
+            live_version: self.version,
+            cycles: report.cycles,
+            converged: report.converged,
+            gossip: delta,
+            wall_ms,
+        }
+    }
+
+    /// The epoch-loop thread body: tick every `interval` (or only on
+    /// command when `interval` is `None`), handling [`EpochCommand`]s
+    /// between ticks. Returns when told to shut down or when all command
+    /// senders are gone.
+    pub fn run_loop(mut self, interval: Option<Duration>, commands: Receiver<EpochCommand>) {
+        loop {
+            let command = match interval {
+                Some(period) => match commands.recv_timeout(period) {
+                    Ok(cmd) => Some(cmd),
+                    Err(RecvTimeoutError::Timeout) => {
+                        self.run_epoch();
+                        continue;
+                    }
+                    Err(RecvTimeoutError::Disconnected) => None,
+                },
+                None => commands.recv().ok(),
+            };
+            match command {
+                Some(EpochCommand::RunNow(reply)) => {
+                    let outcome = self.run_epoch();
+                    // A dropped reply receiver just means the caller gave up
+                    // waiting; the epoch still ran and published.
+                    let _ = reply.send(outcome);
+                }
+                Some(EpochCommand::Shutdown) | None => return,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::FeedbackEvent;
+    use gossiptrust_core::id::NodeId;
+
+    fn setup(
+        n: usize,
+        fail: Vec<u64>,
+    ) -> (Arc<FeedbackLog>, Arc<SnapshotCell>, Arc<ServiceStats>, EpochManager) {
+        let log = Arc::new(FeedbackLog::new(n, 4));
+        let cell = Arc::new(SnapshotCell::new(ScoreSnapshot::bootstrap(
+            n,
+            7,
+            RankStorageConfig::default(),
+        )));
+        let stats = Arc::new(ServiceStats::new());
+        let params = Params::for_network(n).with_threads(2);
+        let mgr = EpochManager::new(
+            Arc::clone(&log),
+            Arc::clone(&cell),
+            Arc::clone(&stats),
+            params,
+            RankStorageConfig::default(),
+            7,
+            fail,
+        );
+        (log, cell, stats, mgr)
+    }
+
+    fn ring_feedback(log: &FeedbackLog, n: usize) {
+        for i in 0..n {
+            log.record(FeedbackEvent {
+                rater: NodeId::from_index(i),
+                target: NodeId::from_index((i + 1) % n),
+                score: 2.0 + (i % 3) as f64,
+            });
+        }
+    }
+
+    #[test]
+    fn healthy_epoch_publishes_next_version() {
+        let (log, cell, stats, mut mgr) = setup(24, vec![]);
+        ring_feedback(&log, 24);
+        let outcome = mgr.run_epoch();
+        assert!(outcome.published, "ring matrix must converge");
+        assert_eq!(outcome.live_version, 1);
+        let snap = cell.load();
+        assert_eq!(snap.version, 1);
+        assert_eq!(snap.epoch, 1);
+        assert!(snap.matrix.is_some());
+        assert!(outcome.gossip.steps > 0, "epoch delta must capture activity");
+        assert_eq!(stats.epochs_published(), 1);
+        assert_eq!(stats.epochs_degraded(), 0);
+    }
+
+    #[test]
+    fn injected_failure_degrades_and_keeps_previous_snapshot() {
+        let (log, cell, stats, mut mgr) = setup(24, vec![2]);
+        ring_feedback(&log, 24);
+        assert!(mgr.run_epoch().published);
+        let before = cell.load();
+        let failed = mgr.run_epoch();
+        assert!(!failed.published, "epoch 2 is crippled and must degrade");
+        assert!(!failed.converged);
+        let after = cell.load();
+        assert_eq!(after.version, before.version, "previous snapshot stays live");
+        assert_eq!(stats.epochs_degraded(), 1);
+        // The loop recovers on the next (healthy) epoch.
+        let recovered = mgr.run_epoch();
+        assert!(recovered.published);
+        assert_eq!(cell.load().version, before.version + 1);
+        assert_eq!(cell.load().epoch, 3, "epoch numbering skips the failed epoch");
+    }
+
+    #[test]
+    fn epochs_are_reproducible_from_recorded_inputs() {
+        let (log, cell, _stats, mut mgr) = setup(24, vec![]);
+        ring_feedback(&log, 24);
+        mgr.run_epoch();
+        let snap = cell.load();
+        let matrix = snap.matrix.as_ref().expect("published snapshot records its matrix");
+        let params = Params::for_network(24).with_threads(2);
+        let replay = GossipTrustAggregator::new(params.clone())
+            .with_engine_config(EngineConfig::from_params(&params, 24))
+            .aggregate_with(
+                matrix,
+                &snap.start,
+                &UniformChooser,
+                &mut StdRng::seed_from_u64(snap.seed),
+            );
+        assert_eq!(
+            replay.vector.values(),
+            snap.vector.values(),
+            "published scores must replay bit-for-bit from (matrix, start, seed)"
+        );
+    }
+
+    #[test]
+    fn epoch_seed_is_injective_enough() {
+        let seeds: Vec<u64> = (1..=64).map(|e| EpochManager::epoch_seed(42, e)).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len(), "epoch seeds must not collide");
+    }
+}

@@ -1,0 +1,356 @@
+//! Minimal hand-rolled JSON for the line protocol and bench output.
+//!
+//! The workspace deliberately avoids a JSON dependency (the bench binaries
+//! already hand-roll their output); the service's wire protocol needs only
+//! flat objects of scalars, so this module provides exactly that: a small
+//! escaping writer ([`JsonObj`]) and a strict parser for one-line flat
+//! objects ([`parse_flat`]). Nested objects and arrays are rejected on the
+//! read path by design — no request in the protocol needs them, and
+//! rejecting them keeps the parser small enough to audit at a glance.
+
+use std::fmt::Write as _;
+
+/// A scalar JSON value as produced by [`parse_flat`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonScalar {
+    /// A JSON string (unescaped).
+    Str(String),
+    /// A JSON number.
+    Num(f64),
+    /// `true` or `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+/// A parsed flat JSON object: key/value pairs in input order.
+pub type FlatObject = Vec<(String, JsonScalar)>;
+
+/// Look up a string field.
+pub fn get_str<'a>(obj: &'a FlatObject, key: &str) -> Option<&'a str> {
+    obj.iter().find(|(k, _)| k == key).and_then(|(_, v)| match v {
+        JsonScalar::Str(s) => Some(s.as_str()),
+        _ => None,
+    })
+}
+
+/// Look up a numeric field.
+pub fn get_num(obj: &FlatObject, key: &str) -> Option<f64> {
+    obj.iter().find(|(k, _)| k == key).and_then(|(_, v)| match v {
+        JsonScalar::Num(x) => Some(*x),
+        _ => None,
+    })
+}
+
+/// Look up a numeric field and require it to be a `u32` integer index.
+pub fn get_index(obj: &FlatObject, key: &str) -> Option<u32> {
+    let x = get_num(obj, key)?;
+    if x.fract() == 0.0 && (0.0..=u32::MAX as f64).contains(&x) {
+        Some(x as u32)
+    } else {
+        None
+    }
+}
+
+/// Parse one flat JSON object (`{"k": scalar, ...}`).
+///
+/// Accepts strings (with the standard escapes), numbers, booleans and
+/// `null` as values; rejects nested objects/arrays, duplicate-free-ness is
+/// not enforced (later keys simply also appear in the result; lookups take
+/// the first).
+pub fn parse_flat(input: &str) -> Result<FlatObject, String> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut out = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.parse_string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.parse_scalar()?;
+            out.push((key, value));
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err("trailing bytes after object".into());
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            other => Err(format!("expected {:?}, got {other:?}", want as char)),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self.next().ok_or("truncated \\u escape")?;
+                            code = code * 16
+                                + (d as char).to_digit(16).ok_or("bad \\u escape")? as u32;
+                        }
+                        // Surrogates are rejected rather than paired: no
+                        // protocol field carries astral-plane text.
+                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(b) if b < 0x20 => return Err("raw control byte in string".into()),
+                Some(b) => {
+                    // Re-assemble UTF-8 multibyte sequences byte-for-byte;
+                    // the input &str guarantees validity.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let end = (start + len).min(self.bytes.len());
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..end])
+                            .map_err(|_| "invalid utf-8".to_string())?,
+                    );
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_scalar(&mut self) -> Result<JsonScalar, String> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonScalar::Str(self.parse_string()?)),
+            Some(b't') => self.literal("true", JsonScalar::Bool(true)),
+            Some(b'f') => self.literal("false", JsonScalar::Bool(false)),
+            Some(b'n') => self.literal("null", JsonScalar::Null),
+            Some(b'{') | Some(b'[') => Err("nested values are not supported".into()),
+            Some(_) => {
+                let start = self.pos;
+                while matches!(self.peek(), Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "invalid utf-8".to_string())?;
+                text.parse::<f64>()
+                    .map(JsonScalar::Num)
+                    .map_err(|_| format!("bad number {text:?}"))
+            }
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonScalar) -> Result<JsonScalar, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("expected literal {word}"))
+        }
+    }
+}
+
+/// Incremental writer for one flat JSON object.
+#[derive(Debug, Default)]
+pub struct JsonObj {
+    body: String,
+}
+
+impl JsonObj {
+    /// Start an empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.body.is_empty() {
+            self.body.push(',');
+        }
+        self.body.push('"');
+        escape_into(&mut self.body, key);
+        self.body.push_str("\":");
+    }
+
+    /// Add a string field (escaped).
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        self.body.push('"');
+        escape_into(&mut self.body, value);
+        self.body.push('"');
+        self
+    }
+
+    /// Add a numeric field. Non-finite values are emitted as `null`
+    /// (JSON has no NaN/Inf).
+    pub fn num(mut self, key: &str, value: f64) -> Self {
+        self.key(key);
+        if value.is_finite() {
+            let _ = write!(self.body, "{value}");
+        } else {
+            self.body.push_str("null");
+        }
+        self
+    }
+
+    /// Add an integer field.
+    pub fn int(mut self, key: &str, value: u64) -> Self {
+        self.key(key);
+        let _ = write!(self.body, "{value}");
+        self
+    }
+
+    /// Add a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.key(key);
+        self.body.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Add a pre-rendered JSON fragment (e.g. an array built by the caller).
+    pub fn raw(mut self, key: &str, fragment: &str) -> Self {
+        self.key(key);
+        self.body.push_str(fragment);
+        self
+    }
+
+    /// Render the object.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.body)
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_and_parser_roundtrip() {
+        let line = JsonObj::new()
+            .str("op", "score")
+            .int("peer", 3)
+            .num("score", 0.125)
+            .bool("ok", true)
+            .finish();
+        let obj = parse_flat(&line).expect("own output parses");
+        assert_eq!(get_str(&obj, "op"), Some("score"));
+        assert_eq!(get_index(&obj, "peer"), Some(3));
+        assert_eq!(get_num(&obj, "score"), Some(0.125));
+        assert_eq!(
+            obj.iter().find(|(k, _)| k == "ok").map(|(_, v)| v.clone()),
+            Some(JsonScalar::Bool(true))
+        );
+    }
+
+    #[test]
+    fn escapes_roundtrip() {
+        let line = JsonObj::new().str("msg", "a\"b\\c\nd\te\u{1}").finish();
+        let obj = parse_flat(&line).expect("escaped output parses");
+        assert_eq!(get_str(&obj, "msg"), Some("a\"b\\c\nd\te\u{1}"));
+    }
+
+    #[test]
+    fn unicode_text_roundtrips() {
+        let line = JsonObj::new().str("msg", "héllo — 世界").finish();
+        let obj = parse_flat(&line).expect("utf-8 parses");
+        assert_eq!(get_str(&obj, "msg"), Some("héllo — 世界"));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(parse_flat("").is_err());
+        assert!(parse_flat("{").is_err());
+        assert!(parse_flat("{\"a\":1},").is_err());
+        assert!(parse_flat("{\"a\":{}}").is_err(), "nested objects rejected");
+        assert!(parse_flat("{\"a\":[1]}").is_err(), "arrays rejected");
+        assert!(parse_flat("{\"a\":bogus}").is_err());
+        assert!(parse_flat("{\"a\" 1}").is_err());
+    }
+
+    #[test]
+    fn empty_object_parses() {
+        assert_eq!(parse_flat("{}").expect("empty object"), Vec::new());
+        assert_eq!(parse_flat(" { } ").expect("ws tolerated"), Vec::new());
+    }
+
+    #[test]
+    fn get_index_rejects_fractions_and_range() {
+        let obj = parse_flat("{\"a\": 1.5, \"b\": -1, \"c\": 7}").expect("parses");
+        assert_eq!(get_index(&obj, "a"), None);
+        assert_eq!(get_index(&obj, "b"), None);
+        assert_eq!(get_index(&obj, "c"), Some(7));
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        let line = JsonObj::new().num("x", f64::NAN).finish();
+        assert_eq!(line, "{\"x\":null}");
+    }
+}

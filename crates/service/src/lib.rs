@@ -1,0 +1,82 @@
+//! # gossiptrust-serve
+//!
+//! The epoch-driven reputation **service**: everything else in the
+//! workspace runs one aggregation and exits; this crate turns GossipTrust
+//! into a long-running daemon that continuously folds transaction feedback
+//! into trust matrices, re-aggregates them in the background, and serves
+//! reputation queries against immutable, versioned score snapshots.
+//!
+//! The paper itself frames GossipTrust as a continuously refreshed
+//! substrate (the Fig. 5 application re-aggregates every 1000 queries); the
+//! differential-gossip line of work (Gupta & Singh, arXiv:1210.4301)
+//! motivates treating aggregation as a recurring, resource-bounded
+//! background job — which is exactly the shape a serving layer needs.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!   ingest (many writers)          epoch loop (one thread)        queries (many readers)
+//!   ─────────────────────          ───────────────────────        ──────────────────────
+//!   FeedbackLog                    EpochManager                   SnapshotCell
+//!   sharded, append-only   ──►     folds the log into the   ──►   swaps in an immutable
+//!   per-shard mutexes only         next epoch's CSR matrix,       Arc<ScoreSnapshot>;
+//!                                  drives gossip::cycle on a      get_score / top_k /
+//!                                  persistent engine + pool,      rank_of never block on
+//!                                  publishes a new snapshot       an in-flight aggregation
+//! ```
+//!
+//! * [`log`] — the sharded, append-only [`log::FeedbackLog`]: ratings
+//!   accumulate into per-rater [`gossiptrust_core::local::LocalTrust`] rows
+//!   and fold into a CSR `TrustMatrix` at each epoch boundary.
+//! * [`snapshot`] — immutable, versioned [`snapshot::ScoreSnapshot`]s
+//!   (scores, exact ranks, Bloom-filter rank buckets from
+//!   `gossiptrust-storage`) and the [`snapshot::SnapshotCell`] publication
+//!   point readers race through.
+//! * [`epoch`] — the background [`epoch::EpochManager`] loop: every
+//!   `GT_EPOCH_MS` (or on demand) it re-aggregates with
+//!   `GossipTrustAggregator::aggregate_with_engine`, reusing one
+//!   [`gossiptrust_gossip::engine::VectorGossipEngine`] and its persistent
+//!   worker pool across epochs. A failed or non-converged epoch keeps the
+//!   previous snapshot live and increments a degradation counter.
+//! * [`service`] — the in-process [`service::ServiceHandle`] front-end.
+//! * [`server`] — a tokio line-delimited-JSON TCP front-end in
+//!   `gossiptrust-net` style; bulk ingest reuses the binary
+//!   `gossiptrust-net` codec ([`gossiptrust_net::codec::FeedbackBatch`]).
+//! * [`stats`] — the [`stats::ServiceStats`] counter block; per-epoch gossip
+//!   activity is derived with [`gossiptrust_gossip::stats::GossipStats::diff`]
+//!   on the persistent engine's monotonic counters.
+//! * [`loadgen`] — a Zipf query-mix load generator (the `loadgen` bin)
+//!   writing `BENCH_service.json`.
+//!
+//! ## Concurrency contract
+//!
+//! Reads (`get_score`, `top_k`, `rank_of`) clone an `Arc` out of the
+//! [`snapshot::SnapshotCell`] and then run entirely on the immutable
+//! snapshot: no lock is ever held while an aggregation is in flight, so
+//! queries can never block on (or observe a torn state of) an epoch. The
+//! only mutexes on the write path are the per-shard ingest locks of the
+//! [`log::FeedbackLog`]. (The workspace pins its dependency set, so the
+//! cell uses `std::sync`'s reader–writer lock for the pointer swap instead
+//! of an external atomic-`Arc` crate; the critical section is a single
+//! refcount increment — see `SnapshotCell` docs.)
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod epoch;
+pub mod json;
+pub mod loadgen;
+pub mod log;
+pub mod server;
+pub mod service;
+pub mod snapshot;
+pub mod stats;
+
+pub use epoch::EpochOutcome;
+pub use log::{FeedbackEvent, FeedbackLog};
+pub use server::serve;
+pub use service::{
+    RankView, ReputationService, ScoreView, ServeError, ServiceConfig, ServiceHandle, TopKView,
+};
+pub use snapshot::{ScoreSnapshot, SnapshotCell};
+pub use stats::{ServiceStats, StatsReport};

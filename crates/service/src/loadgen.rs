@@ -1,0 +1,209 @@
+//! Load generator: replay a Zipf query mix against a [`ServiceHandle`].
+//!
+//! Query popularity in P2P systems is Zipf-like (the repo's workload crate
+//! models Gnutella's two-segment variant); the load generator replays that
+//! skew: which peer a query asks about is drawn from a Zipf over the
+//! *current snapshot's ranking*, so popular (highly reputable) peers are
+//! queried most — exactly the hot-read pattern the lock-free snapshot path
+//! is built for. The mix interleaves `get_score` / `rank_of` / `top_k`
+//! queries with feedback writes, runs epochs in the background, and
+//! reports queries/sec plus p50/p99 latency into `BENCH_service.json`.
+
+use crate::service::ServiceHandle;
+use crate::stats::StatsReport;
+use gossiptrust_core::id::NodeId;
+use gossiptrust_workloads::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Load-run configuration.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Total queries to issue.
+    pub queries: usize,
+    /// Zipf exponent of the peer-popularity skew.
+    pub zipf_exponent: f64,
+    /// Fraction of operations that are feedback writes (0.0..1.0).
+    pub write_fraction: f64,
+    /// `k` used for `top_k` queries.
+    pub top_k: usize,
+    /// Run one epoch every this many operations (0 = never).
+    pub epoch_every: usize,
+    /// RNG seed for the query mix.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            queries: 50_000,
+            zipf_exponent: 0.9,
+            write_fraction: 0.1,
+            top_k: 10,
+            epoch_every: 10_000,
+            seed: 1,
+        }
+    }
+}
+
+/// Results of one load run.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Queries actually issued (reads only; writes are extra).
+    pub queries: usize,
+    /// Feedback writes interleaved.
+    pub writes: usize,
+    /// Epochs triggered during the run.
+    pub epochs: usize,
+    /// Read throughput over the whole run.
+    pub queries_per_sec: f64,
+    /// Median read latency (microseconds).
+    pub p50_us: f64,
+    /// 99th-percentile read latency (microseconds).
+    pub p99_us: f64,
+    /// Mean epoch wall time as reported by the epoch loop (milliseconds);
+    /// 0 when no epoch ran.
+    pub epoch_wall_ms: f64,
+    /// Service counters at the end of the run.
+    pub stats: StatsReport,
+}
+
+/// Drive `config.queries` operations against `handle`, measuring latency.
+///
+/// Latency is measured per read query with `Instant`; the percentile
+/// extraction sorts the raw samples (no histogram bucketing error).
+pub fn run(handle: &ServiceHandle, config: &LoadConfig) -> LoadReport {
+    let n = handle.n();
+    let zipf = Zipf::new(n, config.zipf_exponent);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut latencies_us: Vec<f64> = Vec::with_capacity(config.queries);
+    let mut writes = 0usize;
+    let mut epochs = 0usize;
+    let mut epoch_wall_ms_total = 0.0;
+    let started = Instant::now();
+    let mut issued = 0usize;
+    let mut ops = 0usize;
+
+    while issued < config.queries {
+        ops += 1;
+        if config.epoch_every > 0 && ops % config.epoch_every == 0 {
+            if let Ok(outcome) = handle.run_epoch_now() {
+                epochs += 1;
+                epoch_wall_ms_total += outcome.wall_ms;
+            }
+        }
+        // Map the sampled Zipf *rank* onto the currently published ranking:
+        // rank 1 = today's most reputable peer.
+        let rank = zipf.sample(&mut rng) - 1;
+        let peer = handle.snapshot().ranking[rank];
+        if rng.random::<f64>() < config.write_fraction {
+            let target = NodeId::from_index(rng.random_range(0..n));
+            let _ = handle.record(peer, target, 1.0);
+            writes += 1;
+            continue;
+        }
+        let t0 = Instant::now();
+        match issued % 3 {
+            0 => {
+                let _ = handle.get_score(peer);
+            }
+            1 => {
+                let _ = handle.rank_of(peer);
+            }
+            _ => {
+                let _ = handle.top_k(config.top_k);
+            }
+        }
+        latencies_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        issued += 1;
+    }
+
+    let elapsed = started.elapsed().as_secs_f64();
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let percentile = |p: f64| -> f64 {
+        if latencies_us.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies_us.len() as f64 - 1.0) * p).round() as usize;
+        latencies_us[idx]
+    };
+
+    LoadReport {
+        queries: issued,
+        writes,
+        epochs,
+        queries_per_sec: if elapsed > 0.0 {
+            issued as f64 / elapsed
+        } else {
+            0.0
+        },
+        p50_us: percentile(0.50),
+        p99_us: percentile(0.99),
+        epoch_wall_ms: if epochs > 0 {
+            epoch_wall_ms_total / epochs as f64
+        } else {
+            0.0
+        },
+        stats: handle.stats_report(),
+    }
+}
+
+/// Render a [`LoadReport`] as the `BENCH_service.json` document.
+///
+/// `cores` is recorded the same way `BENCH_engine.json` does, so the two
+/// benchmark files stay comparable machine-to-machine.
+pub fn report_json(report: &LoadReport, n: usize, cores: usize, quick: bool) -> String {
+    use crate::json::JsonObj;
+    JsonObj::new()
+        .str("bench", "service_queries")
+        .bool("quick", quick)
+        .int("cores", cores as u64)
+        .int("n", n as u64)
+        .int("queries", report.queries as u64)
+        .int("writes", report.writes as u64)
+        .int("epochs", report.epochs as u64)
+        .num("queries_per_sec", report.queries_per_sec)
+        .num("p50_us", report.p50_us)
+        .num("p99_us", report.p99_us)
+        .num("epoch_wall_ms", report.epoch_wall_ms)
+        .int("epochs_published", report.stats.epochs_published)
+        .int("epochs_degraded", report.stats.epochs_degraded)
+        .int("queries_served", report.stats.queries_served)
+        .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::service::{ReputationService, ServiceConfig};
+
+    #[test]
+    fn load_run_reports_sane_numbers() {
+        let service = ReputationService::start(ServiceConfig::new(30));
+        let h = service.handle();
+        for i in 0..30 {
+            h.record(NodeId::from_index(i), NodeId::from_index((i + 1) % 30), 1.0)
+                .expect("in range");
+        }
+        let config = LoadConfig {
+            queries: 300,
+            epoch_every: 100,
+            write_fraction: 0.2,
+            ..LoadConfig::default()
+        };
+        let report = run(&h, &config);
+        assert_eq!(report.queries, 300);
+        assert!(report.epochs >= 1, "epoch_every must trigger epochs");
+        assert!(report.queries_per_sec > 0.0);
+        assert!(report.p99_us >= report.p50_us);
+        assert!(report.stats.queries_served >= 300);
+        // The JSON document parses with our own parser and carries cores.
+        let doc = report_json(&report, 30, 4, true);
+        let obj = json::parse_flat(&doc).expect("bench json parses");
+        assert_eq!(json::get_num(&obj, "cores"), Some(4.0));
+        assert_eq!(json::get_str(&obj, "bench"), Some("service_queries"));
+        service.shutdown();
+    }
+}

@@ -1,0 +1,401 @@
+//! Line-delimited JSON TCP front-end (tokio).
+//!
+//! One request per line, one response per line, in the flat-JSON dialect
+//! of [`crate::json`]. Operations:
+//!
+//! | request                                                      | response fields                                   |
+//! |--------------------------------------------------------------|---------------------------------------------------|
+//! | `{"op":"ping"}`                                              | `n`, `version`                                    |
+//! | `{"op":"score","peer":P}`                                    | `peer`, `score`, `version`, `epoch`               |
+//! | `{"op":"rank","peer":P}`                                     | `peer`, `exact_rank`, `bloom_level`, `levels`, `version` |
+//! | `{"op":"top_k","k":K}`                                       | `version`, `peers` (array of `[id, score]`)       |
+//! | `{"op":"stats"}`                                             | the [`crate::stats::StatsReport`] counters        |
+//! | `{"op":"feedback","rater":R,"target":T,"score":S}`           | `events`                                          |
+//! | `{"op":"batch","data":"<hex>"}`                              | `accepted`, `events`                              |
+//! | `{"op":"epoch"}`                                             | `epoch`, `published`, `live_version`, `cycles`, `wall_ms` |
+//!
+//! Every response carries `"ok": true`; failures are
+//! `{"ok":false,"error":"..."}` and keep the connection open — one bad
+//! request must not tear down a client's session. Bulk ingest rides the
+//! binary [`FeedbackBatch`] codec frame from `gossiptrust-net`, hex-encoded
+//! into the `data` field, so the TCP front-end and any future binary
+//! transport share one wire format.
+
+use crate::json::{self, JsonObj};
+use crate::service::{ServeError, ServiceHandle};
+use gossiptrust_core::id::NodeId;
+use gossiptrust_net::codec::FeedbackBatch;
+use std::fmt::Write as _;
+use std::io;
+use tokio::io::{AsyncBufRead, AsyncBufReadExt, AsyncWriteExt, BufReader};
+use tokio::net::{TcpListener, TcpStream};
+
+/// Longest accepted request line (bytes). A `FeedbackBatch` at the codec's
+/// size cap hex-encodes to ~1.5 MiB, so 4 MiB leaves comfortable headroom
+/// while still bounding a hostile newline-free stream.
+const MAX_LINE_BYTES: usize = 4 << 20;
+
+/// Bind `addr` and serve the query/ingest protocol forever.
+pub async fn serve(handle: ServiceHandle, addr: &str) -> io::Result<()> {
+    let listener = TcpListener::bind(addr).await?;
+    serve_on(handle, listener).await
+}
+
+/// Serve on an already-bound listener (lets tests bind port 0 first).
+pub async fn serve_on(handle: ServiceHandle, listener: TcpListener) -> io::Result<()> {
+    loop {
+        let (stream, _peer) = listener.accept().await?;
+        let handle = handle.clone();
+        tokio::spawn(async move {
+            // A dropped or misbehaving client only affects its own task.
+            let _ = handle_connection(handle, stream).await;
+        });
+    }
+}
+
+async fn handle_connection(handle: ServiceHandle, stream: TcpStream) -> io::Result<()> {
+    let (read_half, mut write_half) = stream.into_split();
+    let mut reader = BufReader::new(read_half);
+    let mut line = Vec::new();
+    while read_capped_line(&mut reader, &mut line, MAX_LINE_BYTES).await? {
+        let request = String::from_utf8_lossy(&line).into_owned();
+        let mut response = respond(&handle, &request).await;
+        response.push('\n');
+        write_half.write_all(response.as_bytes()).await?;
+    }
+    Ok(())
+}
+
+/// Read one `\n`-terminated line into `buf` (newline excluded). Returns
+/// `false` on clean EOF, errors out when a line exceeds `cap` — unlike
+/// `read_line`, a hostile newline-free stream cannot buffer unboundedly.
+async fn read_capped_line<R: AsyncBufRead + Unpin>(
+    reader: &mut R,
+    buf: &mut Vec<u8>,
+    cap: usize,
+) -> io::Result<bool> {
+    buf.clear();
+    loop {
+        let chunk = reader.fill_buf().await?;
+        if chunk.is_empty() {
+            return Ok(!buf.is_empty());
+        }
+        if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+            buf.extend_from_slice(&chunk[..pos]);
+            reader.consume(pos + 1);
+            return Ok(true);
+        }
+        let len = chunk.len();
+        buf.extend_from_slice(chunk);
+        reader.consume(len);
+        if buf.len() > cap {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "request line too long"));
+        }
+    }
+}
+
+fn error_line(message: &str) -> String {
+    JsonObj::new().bool("ok", false).str("error", message).finish()
+}
+
+fn serve_error(err: &ServeError) -> String {
+    error_line(&err.to_string())
+}
+
+/// Answer one request line. Pure with respect to the connection: all state
+/// lives behind the handle.
+async fn respond(handle: &ServiceHandle, request: &str) -> String {
+    let trimmed = request.trim();
+    if trimmed.is_empty() {
+        return error_line("empty request");
+    }
+    let obj = match json::parse_flat(trimmed) {
+        Ok(obj) => obj,
+        Err(e) => return error_line(&format!("malformed request: {e}")),
+    };
+    let Some(op) = json::get_str(&obj, "op") else {
+        return error_line("missing \"op\" field");
+    };
+    match op {
+        // The epoch runs on the epoch thread; only the wait would block,
+        // so it is pushed off the async worker.
+        "epoch" => {
+            let handle = handle.clone();
+            match tokio::task::spawn_blocking(move || handle.run_epoch_now()).await {
+                Ok(Ok(outcome)) => JsonObj::new()
+                    .bool("ok", true)
+                    .int("epoch", outcome.epoch)
+                    .bool("published", outcome.published)
+                    .int("live_version", outcome.live_version)
+                    .int("cycles", outcome.cycles as u64)
+                    .num("wall_ms", outcome.wall_ms)
+                    .finish(),
+                Ok(Err(e)) => serve_error(&e),
+                Err(_) => error_line("epoch task failed"),
+            }
+        }
+        _ => respond_sync(handle, op, &obj),
+    }
+}
+
+fn respond_sync(handle: &ServiceHandle, op: &str, obj: &json::FlatObject) -> String {
+    match op {
+        "ping" => {
+            let snap = handle.snapshot();
+            JsonObj::new()
+                .bool("ok", true)
+                .int("n", handle.n() as u64)
+                .int("version", snap.version)
+                .finish()
+        }
+        "score" => {
+            let Some(peer) = json::get_index(obj, "peer") else {
+                return error_line("score needs an integer \"peer\"");
+            };
+            match handle.get_score(NodeId(peer)) {
+                Ok(view) => JsonObj::new()
+                    .bool("ok", true)
+                    .int("peer", view.peer.0 as u64)
+                    .num("score", view.score)
+                    .int("version", view.version)
+                    .int("epoch", view.epoch)
+                    .finish(),
+                Err(e) => serve_error(&e),
+            }
+        }
+        "rank" => {
+            let Some(peer) = json::get_index(obj, "peer") else {
+                return error_line("rank needs an integer \"peer\"");
+            };
+            match handle.rank_of(NodeId(peer)) {
+                Ok(view) => JsonObj::new()
+                    .bool("ok", true)
+                    .int("peer", view.peer.0 as u64)
+                    .int("exact_rank", view.exact_rank as u64)
+                    .int("bloom_level", view.bloom_level as u64)
+                    .int("levels", view.levels as u64)
+                    .int("version", view.version)
+                    .finish(),
+                Err(e) => serve_error(&e),
+            }
+        }
+        "top_k" => {
+            let Some(k) = json::get_index(obj, "k") else {
+                return error_line("top_k needs an integer \"k\"");
+            };
+            let view = handle.top_k(k as usize);
+            let mut peers = String::from("[");
+            for (i, (id, score)) in view.peers.iter().enumerate() {
+                if i > 0 {
+                    peers.push(',');
+                }
+                let _ = write!(peers, "[{},{}]", id.0, score);
+            }
+            peers.push(']');
+            JsonObj::new()
+                .bool("ok", true)
+                .int("version", view.version)
+                .raw("peers", &peers)
+                .finish()
+        }
+        "stats" => {
+            let report = handle.stats_report();
+            JsonObj::new()
+                .bool("ok", true)
+                .int("epochs_attempted", report.epochs_attempted)
+                .int("epochs_published", report.epochs_published)
+                .int("epochs_degraded", report.epochs_degraded)
+                .int("queries_served", report.queries_served)
+                .int("events_ingested", handle.events_ingested())
+                .int("gossip_steps", report.gossip.steps)
+                .int("gossip_messages_sent", report.gossip.messages_sent)
+                .int("gossip_messages_dropped", report.gossip.messages_dropped)
+                .int("gossip_triplets_sent", report.gossip.triplets_sent)
+                .num("last_epoch_wall_ms", report.last_epoch_wall_ms)
+                .finish()
+        }
+        "feedback" => {
+            let (Some(rater), Some(target), Some(score)) = (
+                json::get_index(obj, "rater"),
+                json::get_index(obj, "target"),
+                json::get_num(obj, "score"),
+            ) else {
+                return error_line(
+                    "feedback needs integer \"rater\"/\"target\" and numeric \"score\"",
+                );
+            };
+            match handle.record(NodeId(rater), NodeId(target), score) {
+                Ok(()) => JsonObj::new()
+                    .bool("ok", true)
+                    .int("events", handle.events_ingested())
+                    .finish(),
+                Err(e) => serve_error(&e),
+            }
+        }
+        "batch" => {
+            let Some(hex) = json::get_str(obj, "data") else {
+                return error_line("batch needs a hex \"data\" field");
+            };
+            let Some(bytes) = hex_decode(hex) else {
+                return error_line("batch data is not valid hex");
+            };
+            let Some(batch) = FeedbackBatch::decode(&bytes) else {
+                return error_line("batch data is not a valid FeedbackBatch frame");
+            };
+            let ratings: Vec<(NodeId, f64)> =
+                batch.ratings.iter().map(|&(t, s)| (NodeId(t), s)).collect();
+            match handle.record_batch(NodeId(batch.rater), &ratings) {
+                Ok(()) => JsonObj::new()
+                    .bool("ok", true)
+                    .int("accepted", ratings.len() as u64)
+                    .int("events", handle.events_ingested())
+                    .finish(),
+                Err(e) => serve_error(&e),
+            }
+        }
+        other => error_line(&format!("unknown op {other:?}")),
+    }
+}
+
+/// Hex-encode bytes (lowercase), for framing `FeedbackBatch` into JSON.
+pub fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        let _ = write!(out, "{b:02x}");
+    }
+    out
+}
+
+/// Decode lowercase/uppercase hex; `None` on odd length or non-hex bytes.
+pub fn hex_decode(hex: &str) -> Option<Vec<u8>> {
+    if hex.len() % 2 != 0 {
+        return None;
+    }
+    let digits = hex.as_bytes();
+    let mut out = Vec::with_capacity(digits.len() / 2);
+    for pair in digits.chunks_exact(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push((hi * 16 + lo) as u8);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{ReputationService, ServiceConfig};
+    use tokio::io::AsyncReadExt;
+
+    fn start_ring(n: usize) -> ReputationService {
+        let service = ReputationService::start(ServiceConfig::new(n));
+        let h = service.handle();
+        for i in 0..n {
+            h.record(NodeId::from_index(i), NodeId::from_index((i + 1) % n), 2.0)
+                .expect("in range");
+        }
+        service
+    }
+
+    async fn request(stream: &mut TcpStream, line: &str) -> json::FlatObject {
+        stream.write_all(line.as_bytes()).await.expect("write");
+        stream.write_all(b"\n").await.expect("write newline");
+        let mut response = Vec::new();
+        let mut byte = [0u8; 1];
+        loop {
+            stream.read_exact(&mut byte).await.expect("read");
+            if byte[0] == b'\n' {
+                break;
+            }
+            response.push(byte[0]);
+        }
+        json::parse_flat(std::str::from_utf8(&response).expect("utf-8")).expect("valid response")
+    }
+
+    fn is_ok(obj: &json::FlatObject) -> bool {
+        obj.iter()
+            .any(|(k, v)| k == "ok" && *v == json::JsonScalar::Bool(true))
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+    async fn tcp_protocol_end_to_end() {
+        let service = start_ring(12);
+        let listener = TcpListener::bind("127.0.0.1:0").await.expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = tokio::spawn(serve_on(service.handle(), listener));
+
+        let mut stream = TcpStream::connect(addr).await.expect("connect");
+        let pong = request(&mut stream, "{\"op\":\"ping\"}").await;
+        assert!(is_ok(&pong));
+        assert_eq!(json::get_index(&pong, "n"), Some(12));
+
+        let epoch = request(&mut stream, "{\"op\":\"epoch\"}").await;
+        assert!(is_ok(&epoch));
+        assert_eq!(json::get_index(&epoch, "live_version"), Some(1));
+
+        let score = request(&mut stream, "{\"op\":\"score\",\"peer\":3}").await;
+        assert!(is_ok(&score));
+        assert_eq!(json::get_index(&score, "version"), Some(1));
+        assert!(json::get_num(&score, "score").expect("score field") > 0.0);
+
+        let rank = request(&mut stream, "{\"op\":\"rank\",\"peer\":3}").await;
+        assert!(is_ok(&rank));
+        assert!(json::get_index(&rank, "exact_rank").expect("rank field") < 12);
+
+        let top = request(&mut stream, "{\"op\":\"top_k\",\"k\":3}").await;
+        assert!(is_ok(&top));
+
+        // A bad request errors but keeps the connection usable.
+        let bad = request(&mut stream, "{\"op\":\"score\",\"peer\":99}").await;
+        assert!(!is_ok(&bad));
+        assert!(json::get_str(&bad, "error")
+            .expect("error field")
+            .contains("unknown peer"));
+        let still_alive = request(&mut stream, "{\"op\":\"ping\"}").await;
+        assert!(is_ok(&still_alive));
+
+        server.abort();
+        service.shutdown();
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+    async fn feedback_and_batch_ingest_over_tcp() {
+        let service = start_ring(8);
+        let listener = TcpListener::bind("127.0.0.1:0").await.expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = tokio::spawn(serve_on(service.handle(), listener));
+
+        let mut stream = TcpStream::connect(addr).await.expect("connect");
+        let before = service.handle().events_ingested();
+        let single =
+            request(&mut stream, "{\"op\":\"feedback\",\"rater\":1,\"target\":2,\"score\":1.5}")
+                .await;
+        assert!(is_ok(&single));
+
+        let frame = FeedbackBatch { rater: 3, epoch_hint: 0, ratings: vec![(4, 1.0), (5, 2.0)] };
+        let line = JsonObj::new()
+            .str("op", "batch")
+            .str("data", &hex_encode(&frame.encode()))
+            .finish();
+        let batch = request(&mut stream, &line).await;
+        assert!(is_ok(&batch));
+        assert_eq!(json::get_index(&batch, "accepted"), Some(2));
+        assert_eq!(service.handle().events_ingested(), before + 3);
+
+        let garbage = request(&mut stream, "{\"op\":\"batch\",\"data\":\"zz\"}").await;
+        assert!(!is_ok(&garbage));
+        let malformed = request(&mut stream, "not json at all").await;
+        assert!(!is_ok(&malformed));
+
+        server.abort();
+        service.shutdown();
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let bytes = [0u8, 1, 0xab, 0xff, 0x10];
+        assert_eq!(hex_decode(&hex_encode(&bytes)).expect("valid"), bytes);
+        assert!(hex_decode("abc").is_none(), "odd length rejected");
+        assert!(hex_decode("zz").is_none(), "non-hex rejected");
+    }
+}

@@ -1,0 +1,397 @@
+//! The in-process service front-end: lifecycle + query/ingest handle.
+//!
+//! [`ReputationService::start`] wires the three shared pieces together
+//! (feedback log, snapshot cell, stats), spawns the epoch-loop thread, and
+//! hands out cloneable [`ServiceHandle`]s. A handle is `Send + Sync + Clone`
+//! and cheap to pass to every ingest and query thread (three `Arc`s and an
+//! `mpsc` sender).
+//!
+//! Queries pin one published snapshot for their whole execution: the
+//! version returned inside each view is the version every field of that
+//! view came from, which is what makes torn reads impossible by
+//! construction.
+
+use crate::epoch::{EpochCommand, EpochManager, EpochOutcome};
+use crate::log::{FeedbackEvent, FeedbackLog};
+use crate::snapshot::{ScoreSnapshot, SnapshotCell};
+use crate::stats::{ServiceStats, StatsReport};
+use gossiptrust_core::id::NodeId;
+use gossiptrust_core::params::Params;
+use gossiptrust_storage::ranks::RankStorageConfig;
+use std::fmt;
+use std::sync::mpsc::{self, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Service configuration.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// GossipTrust parameters; `params.n` fixes the peer population.
+    pub params: Params,
+    /// Ingest shard count of the feedback log.
+    pub shards: usize,
+    /// Bloom rank-bucket configuration for published snapshots.
+    pub rank_config: RankStorageConfig,
+    /// Base RNG seed; epoch `e` runs with `EpochManager::epoch_seed(base, e)`.
+    pub base_seed: u64,
+    /// Period of the automatic epoch loop; `None` = epochs run only on
+    /// [`ServiceHandle::run_epoch_now`] (the mode tests use).
+    pub epoch_interval: Option<Duration>,
+    /// Epoch numbers whose aggregation is deliberately crippled (failure
+    /// injection for degradation tests and chaos drills).
+    pub fail_epochs: Vec<u64>,
+}
+
+impl ServiceConfig {
+    /// Defaults for an `n`-peer network: Table 2 parameters, 16 ingest
+    /// shards, default rank buckets, manual epochs.
+    pub fn new(n: usize) -> Self {
+        ServiceConfig {
+            params: Params::for_network(n),
+            shards: 16,
+            rank_config: RankStorageConfig::default(),
+            base_seed: 42,
+            epoch_interval: None,
+            fail_epochs: Vec::new(),
+        }
+    }
+
+    /// Read the epoch period from `GT_EPOCH_MS` (strictly parsed — a
+    /// malformed value panics), falling back to `default_ms`.
+    pub fn with_epoch_interval_from_env(mut self, default_ms: u64) -> Self {
+        let ms = gossiptrust_core::params::strict_positive_env("GT_EPOCH_MS").unwrap_or(default_ms);
+        self.epoch_interval = Some(Duration::from_millis(ms));
+        self
+    }
+
+    /// Builder-style setter for the base seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+}
+
+/// Errors surfaced by the query/ingest API (and mapped onto the wire by
+/// the TCP front-end).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeError {
+    /// A peer id at or beyond the population size.
+    UnknownPeer {
+        /// The offending id.
+        peer: u32,
+        /// The population size.
+        n: usize,
+    },
+    /// The epoch loop has shut down.
+    Stopped,
+    /// A malformed request (TCP front-end parse errors land here).
+    BadRequest(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownPeer { peer, n } => {
+                write!(f, "unknown peer {peer} (population is 0..{n})")
+            }
+            ServeError::Stopped => write!(f, "service is shut down"),
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One peer's score, pinned to the snapshot it came from.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScoreView {
+    /// The queried peer.
+    pub peer: NodeId,
+    /// Its global reputation score in the pinned snapshot.
+    pub score: f64,
+    /// Version of the snapshot answering this query.
+    pub version: u64,
+    /// Epoch that produced the snapshot.
+    pub epoch: u64,
+}
+
+/// One peer's rank, exact and Bloom-approximate, from one snapshot.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RankView {
+    /// The queried peer.
+    pub peer: NodeId,
+    /// Exact 0-based rank (0 = most reputable).
+    pub exact_rank: u32,
+    /// Approximate rank level from the Bloom buckets (false positives can
+    /// only promote, per the paper's storage scheme).
+    pub bloom_level: usize,
+    /// Number of Bloom rank levels in the snapshot.
+    pub levels: usize,
+    /// Version of the snapshot answering this query.
+    pub version: u64,
+}
+
+/// The top-`k` peers by score, from one snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TopKView {
+    /// `(peer, score)` pairs, descending by score (ties by ascending id).
+    pub peers: Vec<(NodeId, f64)>,
+    /// Version of the snapshot answering this query.
+    pub version: u64,
+}
+
+/// Cloneable, thread-safe handle for ingest and queries.
+#[derive(Clone)]
+pub struct ServiceHandle {
+    log: Arc<FeedbackLog>,
+    cell: Arc<SnapshotCell>,
+    stats: Arc<ServiceStats>,
+    commands: Sender<EpochCommand>,
+}
+
+impl ServiceHandle {
+    /// Peer population size.
+    pub fn n(&self) -> usize {
+        self.log.n()
+    }
+
+    fn check_peer(&self, peer: NodeId) -> Result<(), ServeError> {
+        if peer.index() < self.n() {
+            Ok(())
+        } else {
+            Err(ServeError::UnknownPeer { peer: peer.0, n: self.n() })
+        }
+    }
+
+    /// Ingest one rating into the next epoch's matrix.
+    pub fn record(&self, rater: NodeId, target: NodeId, score: f64) -> Result<(), ServeError> {
+        self.check_peer(rater)?;
+        self.check_peer(target)?;
+        self.log.record(FeedbackEvent { rater, target, score });
+        Ok(())
+    }
+
+    /// Ingest a batch of ratings from one rater (one shard lock).
+    pub fn record_batch(&self, rater: NodeId, ratings: &[(NodeId, f64)]) -> Result<(), ServeError> {
+        self.check_peer(rater)?;
+        for &(target, _) in ratings {
+            self.check_peer(target)?;
+        }
+        self.log.record_batch(rater, ratings);
+        Ok(())
+    }
+
+    /// Pin the latest published snapshot (for multi-call consistency).
+    pub fn snapshot(&self) -> Arc<ScoreSnapshot> {
+        self.cell.load()
+    }
+
+    /// Look up one peer's score in the latest snapshot.
+    pub fn get_score(&self, peer: NodeId) -> Result<ScoreView, ServeError> {
+        self.check_peer(peer)?;
+        let snap = self.cell.load();
+        self.stats.note_query();
+        Ok(ScoreView {
+            peer,
+            score: snap.vector.score(peer),
+            version: snap.version,
+            epoch: snap.epoch,
+        })
+    }
+
+    /// The top-`k` peers by score in the latest snapshot (`k` is clamped
+    /// to the population size).
+    pub fn top_k(&self, k: usize) -> TopKView {
+        let snap = self.cell.load();
+        self.stats.note_query();
+        let peers = snap
+            .ranking
+            .iter()
+            .take(k)
+            .map(|&id| (id, snap.vector.score(id)))
+            .collect();
+        TopKView { peers, version: snap.version }
+    }
+
+    /// One peer's exact rank and Bloom rank level in the latest snapshot.
+    pub fn rank_of(&self, peer: NodeId) -> Result<RankView, ServeError> {
+        self.check_peer(peer)?;
+        let snap = self.cell.load();
+        self.stats.note_query();
+        Ok(RankView {
+            peer,
+            exact_rank: snap.exact_rank(peer),
+            bloom_level: snap.bloom_rank_level(peer),
+            levels: snap.ranks.levels(),
+            version: snap.version,
+        })
+    }
+
+    /// Current service counters.
+    pub fn stats_report(&self) -> StatsReport {
+        self.stats.report()
+    }
+
+    /// Total feedback events ingested so far.
+    pub fn events_ingested(&self) -> u64 {
+        self.log.events()
+    }
+
+    /// Run one epoch immediately and wait for its outcome.
+    pub fn run_epoch_now(&self) -> Result<EpochOutcome, ServeError> {
+        let (tx, rx) = mpsc::channel();
+        self.commands
+            .send(EpochCommand::RunNow(tx))
+            .map_err(|_| ServeError::Stopped)?;
+        rx.recv().map_err(|_| ServeError::Stopped)
+    }
+}
+
+/// The running service: owns the epoch-loop thread.
+///
+/// Dropping (or calling [`ReputationService::shutdown`]) stops the loop;
+/// outstanding [`ServiceHandle`]s keep answering queries against the last
+/// published snapshot but can no longer trigger epochs.
+pub struct ReputationService {
+    handle: ServiceHandle,
+    commands: Sender<EpochCommand>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl ReputationService {
+    /// Validate `config`, publish the bootstrap snapshot, and spawn the
+    /// epoch loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.params` fails validation — a service with
+    /// out-of-domain parameters should not come up at all.
+    pub fn start(config: ServiceConfig) -> Self {
+        config.params.validate().expect("invalid service parameters");
+        let n = config.params.n;
+        let log = Arc::new(FeedbackLog::new(n, config.shards));
+        let cell = Arc::new(SnapshotCell::new(ScoreSnapshot::bootstrap(
+            n,
+            config.base_seed,
+            config.rank_config,
+        )));
+        let stats = Arc::new(ServiceStats::new());
+        let manager = EpochManager::new(
+            Arc::clone(&log),
+            Arc::clone(&cell),
+            Arc::clone(&stats),
+            config.params,
+            config.rank_config,
+            config.base_seed,
+            config.fail_epochs,
+        );
+        let (tx, rx) = mpsc::channel();
+        let interval = config.epoch_interval;
+        let worker = std::thread::Builder::new()
+            .name("gt-epoch".into())
+            .spawn(move || manager.run_loop(interval, rx))
+            .expect("spawn epoch loop");
+        let handle = ServiceHandle { log, cell, stats, commands: tx.clone() };
+        ReputationService { handle, commands: tx, worker: Some(worker) }
+    }
+
+    /// A cloneable ingest/query handle.
+    pub fn handle(&self) -> ServiceHandle {
+        self.handle.clone()
+    }
+
+    /// Seed the feedback log from pre-existing local-trust rows (e.g. a
+    /// generated workload) before the first epoch.
+    pub fn seed_rows(&self, rows: &[gossiptrust_core::local::LocalTrust]) {
+        self.handle.log.seed_rows(rows);
+    }
+
+    /// Stop the epoch loop and join its thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if let Some(worker) = self.worker.take() {
+            let _ = self.commands.send(EpochCommand::Shutdown);
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ReputationService {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_service(n: usize) -> ReputationService {
+        let service = ReputationService::start(ServiceConfig::new(n));
+        let h = service.handle();
+        for i in 0..n {
+            h.record(NodeId::from_index(i), NodeId::from_index((i + 1) % n), 1.0 + (i % 2) as f64)
+                .expect("in range");
+        }
+        service
+    }
+
+    #[test]
+    fn bootstrap_serves_uniform_before_first_epoch() {
+        let service = ReputationService::start(ServiceConfig::new(10));
+        let h = service.handle();
+        let view = h.get_score(NodeId(3)).expect("in range");
+        assert_eq!(view.version, 0);
+        assert!((view.score - 0.1).abs() < 1e-12);
+        service.shutdown();
+    }
+
+    #[test]
+    fn epoch_now_publishes_and_queries_see_it() {
+        let service = ring_service(20);
+        let h = service.handle();
+        let outcome = h.run_epoch_now().expect("loop alive");
+        assert!(outcome.published);
+        let view = h.get_score(NodeId(0)).expect("in range");
+        assert_eq!(view.version, 1);
+        let top = h.top_k(5);
+        assert_eq!(top.peers.len(), 5);
+        assert_eq!(top.version, 1);
+        let rank = h.rank_of(top.peers[0].0).expect("in range");
+        assert_eq!(rank.exact_rank, 0);
+        assert_eq!(h.stats_report().queries_served, 3);
+        service.shutdown();
+    }
+
+    #[test]
+    fn unknown_peer_is_an_error_not_a_panic() {
+        let service = ReputationService::start(ServiceConfig::new(5));
+        let h = service.handle();
+        assert_eq!(h.get_score(NodeId(5)), Err(ServeError::UnknownPeer { peer: 5, n: 5 }));
+        assert!(h.record(NodeId(0), NodeId(9), 1.0).is_err());
+        service.shutdown();
+    }
+
+    #[test]
+    fn handle_reports_stopped_after_shutdown() {
+        let service = ReputationService::start(ServiceConfig::new(5));
+        let h = service.handle();
+        service.shutdown();
+        assert_eq!(h.run_epoch_now(), Err(ServeError::Stopped));
+        // Queries still answer from the last snapshot.
+        assert!(h.get_score(NodeId(1)).is_ok());
+    }
+
+    #[test]
+    fn top_k_clamps_to_population() {
+        let service = ring_service(6);
+        let h = service.handle();
+        h.run_epoch_now().expect("loop alive");
+        assert_eq!(h.top_k(100).peers.len(), 6);
+        service.shutdown();
+    }
+}

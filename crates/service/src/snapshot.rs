@@ -1,0 +1,275 @@
+//! Immutable, versioned score snapshots and their publication point.
+//!
+//! A [`ScoreSnapshot`] is produced once per successful epoch and never
+//! mutated afterwards; every query runs entirely against one snapshot, so a
+//! reader can never observe a half-published epoch. Publication is a single
+//! pointer swap through the [`SnapshotCell`].
+
+use gossiptrust_core::id::NodeId;
+use gossiptrust_core::matrix::TrustMatrix;
+use gossiptrust_core::vector::ReputationVector;
+use gossiptrust_gossip::stats::GossipStats;
+use gossiptrust_storage::ranks::{RankStorage, RankStorageConfig};
+use std::sync::{Arc, RwLock};
+
+/// One epoch's worth of published reputation state.
+///
+/// Everything a query needs is precomputed here: exact scores, the exact
+/// descending ranking, a dense rank lookup table, and the space-efficient
+/// Bloom rank buckets the paper's storage scheme provides. The inputs that
+/// produced the snapshot (`matrix`, `start`, `seed`) are retained so any
+/// epoch can be re-verified bit-for-bit offline by re-running the
+/// aggregation with the same seed.
+#[derive(Clone, Debug)]
+pub struct ScoreSnapshot {
+    /// Monotonically increasing publication version (0 = bootstrap uniform).
+    pub version: u64,
+    /// Epoch counter that produced this snapshot (0 = bootstrap; epochs
+    /// count from 1 and a failed epoch consumes its number without
+    /// producing a snapshot, so `epoch` may skip values).
+    pub epoch: u64,
+    /// RNG seed the aggregation ran with (bootstrap: the service base seed).
+    pub seed: u64,
+    /// The vector the aggregation warm-started from.
+    pub start: ReputationVector,
+    /// The folded trust matrix the epoch aggregated (`None` only for the
+    /// bootstrap snapshot, which precedes any fold).
+    pub matrix: Option<Arc<TrustMatrix>>,
+    /// The converged global reputation scores.
+    pub vector: ReputationVector,
+    /// Exact descending ranking (ties broken by ascending id).
+    pub ranking: Vec<NodeId>,
+    /// Dense rank lookup: `rank_of[i]` is the 0-based rank of peer `i`.
+    pub rank_of: Vec<u32>,
+    /// Bloom-bucketed rank levels (the paper's storage scheme).
+    pub ranks: RankStorage,
+    /// Gossip activity of exactly this epoch (engine counter delta).
+    pub gossip: GossipStats,
+    /// Power-iteration cycles the epoch ran.
+    pub cycles: usize,
+    /// Whether the aggregation reported outer convergence.
+    pub converged: bool,
+    /// Wall-clock milliseconds the epoch spent (fold + aggregate + build).
+    pub wall_ms: f64,
+}
+
+impl ScoreSnapshot {
+    /// Bootstrap snapshot: uniform scores over `n` peers, version 0.
+    ///
+    /// Published at service start so queries are answerable before the
+    /// first epoch completes.
+    pub fn bootstrap(n: usize, seed: u64, rank_config: RankStorageConfig) -> Self {
+        let vector = ReputationVector::uniform(n);
+        Self::from_vector(
+            0,
+            0,
+            seed,
+            vector.clone(),
+            None,
+            vector,
+            rank_config,
+            GossipStats::default(),
+            0,
+            true,
+            0.0,
+        )
+    }
+
+    /// Build a snapshot from a converged vector, precomputing the ranking,
+    /// the dense rank table, and the Bloom rank buckets.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_vector(
+        version: u64,
+        epoch: u64,
+        seed: u64,
+        start: ReputationVector,
+        matrix: Option<Arc<TrustMatrix>>,
+        vector: ReputationVector,
+        rank_config: RankStorageConfig,
+        gossip: GossipStats,
+        cycles: usize,
+        converged: bool,
+        wall_ms: f64,
+    ) -> Self {
+        let ranking = vector.ranking();
+        let mut rank_of = vec![0u32; vector.n()];
+        for (rank, id) in ranking.iter().enumerate() {
+            rank_of[id.index()] = rank as u32;
+        }
+        let rank_config =
+            RankStorageConfig { levels: rank_config.levels.min(vector.n().max(1)), ..rank_config };
+        let ranks = RankStorage::build(&vector, rank_config);
+        ScoreSnapshot {
+            version,
+            epoch,
+            seed,
+            start,
+            matrix,
+            vector,
+            ranking,
+            rank_of,
+            ranks,
+            gossip,
+            cycles,
+            converged,
+            wall_ms,
+        }
+    }
+
+    /// Number of peers covered.
+    pub fn n(&self) -> usize {
+        self.vector.n()
+    }
+
+    /// Exact 0-based rank of `peer` (0 = most reputable).
+    pub fn exact_rank(&self, peer: NodeId) -> u32 {
+        self.rank_of[peer.index()]
+    }
+
+    /// Approximate rank level from the Bloom buckets (see
+    /// [`RankStorage::rank_level`]).
+    pub fn bloom_rank_level(&self, peer: NodeId) -> usize {
+        self.ranks.rank_level(peer)
+    }
+}
+
+/// The publication point readers race through: holds the latest
+/// [`ScoreSnapshot`] behind an `Arc` and swaps it atomically per epoch.
+///
+/// The workspace's pinned dependency set has no atomic-`Arc` crate, so the
+/// swap is a `std::sync::RwLock<Arc<_>>`: readers take the shared lock just
+/// long enough to clone the `Arc` (one refcount increment — no allocation,
+/// no I/O, no user code), then drop it and run the query on the immutable
+/// snapshot. The single writer (the epoch loop) holds the exclusive lock
+/// only for the pointer store, once per epoch. Readers therefore never
+/// block on an aggregation, only — fleetingly and rarely — on the swap
+/// instruction itself, which is the same guarantee an atomic pointer swap
+/// gives.
+#[derive(Debug)]
+pub struct SnapshotCell {
+    current: RwLock<Arc<ScoreSnapshot>>,
+}
+
+impl SnapshotCell {
+    /// Start with `initial` as the live snapshot.
+    pub fn new(initial: ScoreSnapshot) -> Self {
+        SnapshotCell { current: RwLock::new(Arc::new(initial)) }
+    }
+
+    /// Clone out the latest published snapshot.
+    pub fn load(&self) -> Arc<ScoreSnapshot> {
+        Arc::clone(&self.current.read().expect("snapshot cell poisoned"))
+    }
+
+    /// Publish `next` as the live snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `next.version` does not increase — versions are the
+    /// torn-read guard, so a regression is a logic bug worth dying loudly on.
+    pub fn publish(&self, next: ScoreSnapshot) {
+        let next = Arc::new(next);
+        let mut slot = self.current.write().expect("snapshot cell poisoned");
+        assert!(
+            next.version > slot.version,
+            "snapshot version must increase: {} -> {}",
+            slot.version,
+            next.version
+        );
+        *slot = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vec_of(values: Vec<f64>) -> ReputationVector {
+        ReputationVector::from_weights(values).expect("valid weights")
+    }
+
+    #[test]
+    fn bootstrap_is_uniform_version_zero() {
+        let s = ScoreSnapshot::bootstrap(5, 42, RankStorageConfig::default());
+        assert_eq!(s.version, 0);
+        assert_eq!(s.n(), 5);
+        assert!(s.matrix.is_none());
+        for i in 0..5 {
+            assert!((s.vector.score(NodeId::from_index(i)) - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rank_table_matches_ranking() {
+        let s = ScoreSnapshot::from_vector(
+            1,
+            1,
+            7,
+            ReputationVector::uniform(4),
+            None,
+            vec_of(vec![0.1, 0.4, 0.2, 0.3]),
+            RankStorageConfig { levels: 2, fp_rate: 0.01 },
+            GossipStats::default(),
+            3,
+            true,
+            1.0,
+        );
+        assert_eq!(s.ranking, vec![NodeId(1), NodeId(3), NodeId(2), NodeId(0)]);
+        assert_eq!(s.exact_rank(NodeId(1)), 0);
+        assert_eq!(s.exact_rank(NodeId(0)), 3);
+        // Bloom levels never demote below the exact bucket (fp only promotes).
+        assert!(s.bloom_rank_level(NodeId(1)) <= 1);
+    }
+
+    #[test]
+    fn cell_publishes_monotonic_versions() {
+        let cell = SnapshotCell::new(ScoreSnapshot::bootstrap(3, 0, RankStorageConfig::default()));
+        assert_eq!(cell.load().version, 0);
+        let next = ScoreSnapshot::from_vector(
+            1,
+            1,
+            0,
+            ReputationVector::uniform(3),
+            None,
+            vec_of(vec![0.5, 0.25, 0.25]),
+            RankStorageConfig { levels: 2, fp_rate: 0.01 },
+            GossipStats::default(),
+            1,
+            true,
+            0.5,
+        );
+        cell.publish(next);
+        assert_eq!(cell.load().version, 1);
+        assert_eq!(cell.load().exact_rank(NodeId(0)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "version must increase")]
+    fn version_regression_panics() {
+        let cell = SnapshotCell::new(ScoreSnapshot::bootstrap(3, 0, RankStorageConfig::default()));
+        cell.publish(ScoreSnapshot::bootstrap(3, 0, RankStorageConfig::default()));
+    }
+
+    #[test]
+    fn readers_hold_old_snapshot_across_publish() {
+        let cell = SnapshotCell::new(ScoreSnapshot::bootstrap(3, 0, RankStorageConfig::default()));
+        let held = cell.load();
+        let next = ScoreSnapshot::from_vector(
+            1,
+            1,
+            0,
+            ReputationVector::uniform(3),
+            None,
+            vec_of(vec![0.6, 0.2, 0.2]),
+            RankStorageConfig { levels: 2, fp_rate: 0.01 },
+            GossipStats::default(),
+            1,
+            true,
+            0.5,
+        );
+        cell.publish(next);
+        // The held Arc still sees the old, fully consistent snapshot.
+        assert_eq!(held.version, 0);
+        assert_eq!(cell.load().version, 1);
+    }
+}

@@ -1,0 +1,153 @@
+//! Service-level counters: epochs, degradations, queries, gossip totals.
+//!
+//! The gossip totals are built on [`GossipStats::diff`]: the epoch loop
+//! captures the persistent engine's monotonic counters before each epoch,
+//! diffs them after, and absorbs exactly that epoch's activity here — so
+//! the service totals stay correct even though the engine is reused and
+//! its own counters never reset.
+
+use gossiptrust_gossip::stats::GossipStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared, lock-free service counter block.
+///
+/// All counters are monotonic; readers may observe a set of counters that
+/// straddles an in-flight epoch (e.g. `epochs_attempted` already bumped,
+/// `epochs_published` not yet), which is fine for monitoring — only the
+/// `SnapshotCell` carries consistency guarantees.
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    epochs_attempted: AtomicU64,
+    epochs_published: AtomicU64,
+    /// Epochs that failed or did not converge and therefore left the
+    /// previous snapshot serving — the graceful-degradation counter.
+    epochs_degraded: AtomicU64,
+    queries_served: AtomicU64,
+    gossip_steps: AtomicU64,
+    gossip_messages_sent: AtomicU64,
+    gossip_messages_dropped: AtomicU64,
+    gossip_triplets_sent: AtomicU64,
+    /// Wall time of the most recent epoch, in microseconds.
+    last_epoch_wall_us: AtomicU64,
+}
+
+/// A plain, copyable view of [`ServiceStats`] at one instant.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StatsReport {
+    /// Epochs the loop started.
+    pub epochs_attempted: u64,
+    /// Epochs that published a new snapshot.
+    pub epochs_published: u64,
+    /// Epochs that degraded (failed/non-converged; previous snapshot kept).
+    pub epochs_degraded: u64,
+    /// Queries answered across all front-ends.
+    pub queries_served: u64,
+    /// Total gossip activity across all epochs (sum of per-epoch diffs).
+    pub gossip: GossipStats,
+    /// Wall time of the most recent epoch in milliseconds.
+    pub last_epoch_wall_ms: f64,
+}
+
+impl ServiceStats {
+    /// Fresh, all-zero counter block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Note that an epoch is starting.
+    pub fn note_epoch_started(&self) {
+        self.epochs_attempted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Note a finished epoch: `published` says whether a new snapshot went
+    /// live; `delta` is that epoch's gossip activity (an engine counter
+    /// diff), which is absorbed into the service totals either way — a
+    /// degraded epoch still burned the messages.
+    pub fn note_epoch_finished(&self, published: bool, delta: &GossipStats, wall_ms: f64) {
+        if published {
+            self.epochs_published.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.epochs_degraded.fetch_add(1, Ordering::Relaxed);
+        }
+        self.gossip_steps.fetch_add(delta.steps, Ordering::Relaxed);
+        self.gossip_messages_sent
+            .fetch_add(delta.messages_sent, Ordering::Relaxed);
+        self.gossip_messages_dropped
+            .fetch_add(delta.messages_dropped, Ordering::Relaxed);
+        self.gossip_triplets_sent
+            .fetch_add(delta.triplets_sent, Ordering::Relaxed);
+        self.last_epoch_wall_us
+            .store((wall_ms * 1_000.0) as u64, Ordering::Relaxed);
+    }
+
+    /// Note one answered query.
+    pub fn note_query(&self) {
+        self.queries_served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Degraded-epoch count (the graceful-degradation counter).
+    pub fn epochs_degraded(&self) -> u64 {
+        self.epochs_degraded.load(Ordering::Relaxed)
+    }
+
+    /// Published-epoch count.
+    pub fn epochs_published(&self) -> u64 {
+        self.epochs_published.load(Ordering::Relaxed)
+    }
+
+    /// Queries answered so far.
+    pub fn queries_served(&self) -> u64 {
+        self.queries_served.load(Ordering::Relaxed)
+    }
+
+    /// Copy the counters into a plain report.
+    pub fn report(&self) -> StatsReport {
+        StatsReport {
+            epochs_attempted: self.epochs_attempted.load(Ordering::Relaxed),
+            epochs_published: self.epochs_published.load(Ordering::Relaxed),
+            epochs_degraded: self.epochs_degraded.load(Ordering::Relaxed),
+            queries_served: self.queries_served.load(Ordering::Relaxed),
+            gossip: GossipStats {
+                steps: self.gossip_steps.load(Ordering::Relaxed),
+                messages_sent: self.gossip_messages_sent.load(Ordering::Relaxed),
+                messages_dropped: self.gossip_messages_dropped.load(Ordering::Relaxed),
+                triplets_sent: self.gossip_triplets_sent.load(Ordering::Relaxed),
+            },
+            last_epoch_wall_ms: self.last_epoch_wall_us.load(Ordering::Relaxed) as f64 / 1_000.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_accounting_splits_published_and_degraded() {
+        let stats = ServiceStats::new();
+        let delta =
+            GossipStats { steps: 10, messages_sent: 20, messages_dropped: 1, triplets_sent: 200 };
+        stats.note_epoch_started();
+        stats.note_epoch_finished(true, &delta, 1.5);
+        stats.note_epoch_started();
+        stats.note_epoch_finished(false, &delta, 2.5);
+        let r = stats.report();
+        assert_eq!(r.epochs_attempted, 2);
+        assert_eq!(r.epochs_published, 1);
+        assert_eq!(r.epochs_degraded, 1);
+        // Both epochs' gossip activity is absorbed, published or not.
+        assert_eq!(r.gossip.steps, 20);
+        assert_eq!(r.gossip.messages_sent, 40);
+        assert!((r.last_epoch_wall_ms - 2.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn query_counter_accumulates() {
+        let stats = ServiceStats::new();
+        for _ in 0..7 {
+            stats.note_query();
+        }
+        assert_eq!(stats.queries_served(), 7);
+        assert_eq!(stats.report().queries_served, 7);
+    }
+}

@@ -263,12 +263,8 @@ impl AsyncGossipSim {
         }
 
         // Mean estimate over online nodes.
-        let online: Vec<usize> = self
-            .overlay
-            .online_nodes()
-            .into_iter()
-            .map(|id| id.index())
-            .collect();
+        let online: Vec<usize> =
+            self.overlay.online_nodes().into_iter().map(|id| id.index()).collect();
         let mut estimate = vec![0.0; n];
         let denom = online.len().max(1) as f64;
         for &i in &online {
@@ -279,12 +275,7 @@ impl AsyncGossipSim {
             }
         }
 
-        SimReport {
-            estimate,
-            converged,
-            virtual_time: metrics.end_time,
-            metrics,
-        }
+        SimReport { estimate, converged, virtual_time: metrics.end_time, metrics }
     }
 
     /// Oracle: relative spread of the online nodes' estimates ≤ ε on every
@@ -371,7 +362,8 @@ mod tests {
         let m = test_matrix(n);
         let v0 = ReputationVector::uniform(n);
         let prior = Prior::uniform(n);
-        let base = SimConfig { link: LinkModel::fixed(30_000), epsilon: 1e-3, ..Default::default() };
+        let base =
+            SimConfig { link: LinkModel::fixed(30_000), epsilon: 1e-3, ..Default::default() };
 
         let mut global_sim = AsyncGossipSim::new(ring_plus_chords(n, 3), base.clone());
         let mut rng = StdRng::seed_from_u64(4);

@@ -43,6 +43,71 @@ proptest! {
         }
     }
 
+    /// Counting filters under the rank *demotion* path: peers slide from a
+    /// better bucket to a worse one (remove from old, insert into new).
+    /// After any sequence of demotions, every peer must still be found in
+    /// its current bucket — insert→remove→query never yields a false
+    /// negative for a still-present entry.
+    #[test]
+    fn counting_demotion_never_false_negative(
+        peers in proptest::collection::hash_set(any::<u64>(), 1..150),
+        demote_picks in proptest::collection::vec(any::<prop::sample::Index>(), 0..300),
+        fp in 0.001f64..0.1,
+    ) {
+        let peers: Vec<u64> = peers.into_iter().collect();
+        let capacity = peers.len() + 8;
+        let mut buckets = [
+            CountingBloomFilter::with_rate(capacity, fp),
+            CountingBloomFilter::with_rate(capacity, fp),
+            CountingBloomFilter::with_rate(capacity, fp),
+        ];
+        // Everyone starts in the best bucket.
+        let mut level = vec![0usize; peers.len()];
+        for &p in &peers {
+            buckets[0].insert(p);
+        }
+        // Random demotion sequence: remove from the current bucket, insert
+        // into the next-worse one (bottoms out at the worst bucket).
+        for pick in demote_picks {
+            let i = pick.index(peers.len());
+            if level[i] + 1 < buckets.len() {
+                buckets[level[i]].remove(peers[i]);
+                level[i] += 1;
+                buckets[level[i]].insert(peers[i]);
+            }
+        }
+        for (i, &p) in peers.iter().enumerate() {
+            prop_assert!(
+                buckets[level[i]].contains(p),
+                "peer {} missing from its current bucket {}",
+                p,
+                level[i]
+            );
+        }
+    }
+
+    /// Counting semantics: a key inserted `c` times and removed `r < c`
+    /// times is still present (below the saturation regime, where removal
+    /// is exact).
+    #[test]
+    fn counting_partial_removal_keeps_key(
+        key in any::<u64>(),
+        inserts in 2u8..14,
+        others in proptest::collection::hash_set(any::<u64>(), 0..50),
+    ) {
+        let mut f = CountingBloomFilter::with_rate(64, 0.01);
+        for &o in &others {
+            f.insert(o);
+        }
+        for _ in 0..inserts {
+            f.insert(key);
+        }
+        for _ in 0..(inserts - 1) {
+            f.remove(key);
+        }
+        prop_assert!(f.contains(key), "one inserted copy must remain visible");
+    }
+
     /// Rank storage: level assignments are promotion-only (a false positive
     /// can only improve a peer's apparent rank) and every queried level is
     /// in range.

@@ -77,8 +77,10 @@ pub fn generate<R: Rng + ?Sized>(
     assert!(n >= 2, "feedback needs at least two peers");
     assert!(config.target_skew >= 0.0, "target skew must be non-negative");
     let m = config.transactions_per_edge.max(1);
-    let degree_dist =
-        crate::powerlaw::DegreeSequence::new(config.d_avg.min(config.d_max - 1).max(1), config.d_max);
+    let degree_dist = crate::powerlaw::DegreeSequence::new(
+        config.d_avg.min(config.d_max - 1).max(1),
+        config.d_max,
+    );
 
     // Popularity-skewed target sampling: peer `popularity[r]` has rank
     // `r + 1` in a Zipf(target_skew) law. The permutation decouples
@@ -221,10 +223,7 @@ mod tests {
         let avg = |ids: &[NodeId]| ids.iter().map(|&i| v.score(i)).sum::<f64>() / ids.len() as f64;
         let honest_avg = avg(&pop.honest_peers());
         let mal_avg = avg(&pop.malicious_peers());
-        assert!(
-            honest_avg > 1.5 * mal_avg,
-            "honest {honest_avg} vs malicious {mal_avg}"
-        );
+        assert!(honest_avg > 1.5 * mal_avg, "honest {honest_avg} vs malicious {mal_avg}");
     }
 
     #[test]
@@ -274,7 +273,8 @@ mod tests {
     fn degrees_respect_caps() {
         let mut rng = StdRng::seed_from_u64(5);
         let pop = Population::generate(30, &ThreatConfig::benign(), &mut rng);
-        let cfg = FeedbackConfig { d_avg: 10, d_max: 200, transactions_per_edge: 3, target_skew: 0.8 };
+        let cfg =
+            FeedbackConfig { d_avg: 10, d_max: 200, transactions_per_edge: 3, target_skew: 0.8 };
         let out = generate(&pop, &cfg, &mut rng);
         // No row can have more entries than n-1 (and none can self-rate).
         for i in 0..30 {

@@ -102,12 +102,11 @@ impl FileCatalog {
                 while hs.len() < c && attempts < max_attempts {
                     attempts += 1;
                     let u: f64 = rng.random::<f64>() * cap_total;
-                    let p = match cumulative
-                        .binary_search_by(|x| x.partial_cmp(&u).expect("finite"))
-                    {
-                        Ok(i) => (i + 1).min(n - 1),
-                        Err(i) => i.min(n - 1),
-                    };
+                    let p =
+                        match cumulative.binary_search_by(|x| x.partial_cmp(&u).expect("finite")) {
+                            Ok(i) => (i + 1).min(n - 1),
+                            Err(i) => i.min(n - 1),
+                        };
                     if !in_file[p] {
                         in_file[p] = true;
                         hs.push(p as u32);
@@ -174,9 +173,7 @@ impl FileCatalog {
 
     /// Whether `peer` holds `file`.
     pub fn peer_has(&self, peer: NodeId, file: u32) -> bool {
-        self.holders[file as usize]
-            .binary_search(&(peer.0))
-            .is_ok()
+        self.holders[file as usize].binary_search(&(peer.0)).is_ok()
     }
 }
 

@@ -95,10 +95,7 @@ impl Population {
     /// the configured size; a final smaller remainder group is allowed.
     pub fn generate<R: Rng + ?Sized>(n: usize, config: &ThreatConfig, rng: &mut R) -> Self {
         assert!(n > 0, "population needs at least one peer");
-        assert!(
-            (0.0..=1.0).contains(&config.malicious_fraction),
-            "gamma must be in [0,1]"
-        );
+        assert!((0.0..=1.0).contains(&config.malicious_fraction), "gamma must be in [0,1]");
         let m = (config.malicious_fraction * n as f64).floor() as usize;
         let mut ids: Vec<usize> = (0..n).collect();
         ids.shuffle(rng);
@@ -271,9 +268,8 @@ mod tests {
     fn authenticity_separates_kinds() {
         let mut rng = StdRng::seed_from_u64(5);
         let p = Population::generate(300, &ThreatConfig::independent(0.5), &mut rng);
-        let avg = |ids: &[NodeId]| {
-            ids.iter().map(|&i| p.authenticity(i)).sum::<f64>() / ids.len() as f64
-        };
+        let avg =
+            |ids: &[NodeId]| ids.iter().map(|&i| p.authenticity(i)).sum::<f64>() / ids.len() as f64;
         let honest_avg = avg(&p.honest_peers());
         let mal_avg = avg(&p.malicious_peers());
         assert!(honest_avg > 0.9);

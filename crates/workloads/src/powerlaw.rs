@@ -180,7 +180,8 @@ impl BoundedPareto {
             // α = 1 limit: mean = ln(h/l) · l·h/(h−l)
             (h / l).ln() * l * h / (h - l)
         } else {
-            (l.powf(a) / (1.0 - (l / h).powf(a))) * (a / (a - 1.0))
+            (l.powf(a) / (1.0 - (l / h).powf(a)))
+                * (a / (a - 1.0))
                 * (1.0 / l.powf(a - 1.0) - 1.0 / h.powf(a - 1.0))
         }
     }

@@ -34,10 +34,7 @@ impl QueryWorkload {
     /// two-segment popularity law.
     pub fn new(n: usize, num_files: usize) -> Self {
         assert!(n >= 1 && num_files >= 1, "need peers and files");
-        QueryWorkload {
-            popularity: TwoSegmentZipf::gnutella_queries(num_files),
-            n,
-        }
+        QueryWorkload { popularity: TwoSegmentZipf::gnutella_queries(num_files), n }
     }
 
     /// Number of peers.

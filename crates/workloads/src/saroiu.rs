@@ -31,12 +31,7 @@ pub struct SaroiuFiles {
 
 impl Default for SaroiuFiles {
     fn default() -> Self {
-        SaroiuFiles {
-            free_rider_fraction: 0.25,
-            min_files: 10,
-            max_files: 5_000,
-            shape: 1.2,
-        }
+        SaroiuFiles { free_rider_fraction: 0.25, min_files: 10, max_files: 5_000, shape: 1.2 }
     }
 }
 

@@ -55,12 +55,7 @@ impl Scenario {
     pub fn generate<R: Rng + ?Sized>(config: &ScenarioConfig, rng: &mut R) -> Self {
         let population = Population::generate(config.n, &config.threat, rng);
         let out = feedback::generate(&population, &config.feedback, rng);
-        Scenario {
-            population,
-            honest: out.honest,
-            polluted: out.polluted,
-            edges: out.edges,
-        }
+        Scenario { population, honest: out.honest, polluted: out.polluted, edges: out.edges }
     }
 
     /// Network size.

@@ -27,18 +27,22 @@ async fn main() {
 
     println!("async gossip cluster: {n} tokio node tasks, signed pushes\n");
 
-    let config = NetConfig {
-        tick: Duration::from_millis(2),
-        ..NetConfig::fast_local()
-    }
-    .with_seed(1)
-    .with_loss_rate(0.05);
+    let config = NetConfig { tick: Duration::from_millis(2), ..NetConfig::fast_local() }
+        .with_seed(1)
+        .with_loss_rate(0.05);
     let report = Cluster::in_memory(config).run(&matrix, &params).await;
     println!("[in-memory channels, 5% loss]");
     println!("  cycles: {}, converged: {}", report.cycles, report.converged);
     println!("  pushes sent: {}", report.pushes_sent);
-    println!("  auth failures: {}, stale pushes: {}", report.auth_failures, report.stale_pushes);
-    println!("  top peer: {}, power nodes: {:?}", report.vector.ranking()[0], report.power_nodes);
+    println!(
+        "  auth failures: {}, stale pushes: {}",
+        report.auth_failures, report.stale_pushes
+    );
+    println!(
+        "  top peer: {}, power nodes: {:?}",
+        report.vector.ranking()[0],
+        report.power_nodes
+    );
 
     let report = Cluster::udp(NetConfig::fast_local().with_seed(2))
         .run(&matrix, &params)

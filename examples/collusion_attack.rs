@@ -41,9 +41,8 @@ fn main() {
     println!("group size  alpha=0 (no power nodes)  alpha=0.15 (power nodes)");
     println!("---------------------------------------------------------------");
     for group_size in [2usize, 4, 6, 8] {
-        let avg = |alpha: f64| {
-            (0..3).map(|s| distortion(alpha, group_size, 100 + s)).sum::<f64>() / 3.0
-        };
+        let avg =
+            |alpha: f64| (0..3).map(|s| distortion(alpha, group_size, 100 + s)).sum::<f64>() / 3.0;
         let without = avg(0.0);
         let with = avg(0.15);
         println!(

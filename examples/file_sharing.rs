@@ -18,12 +18,9 @@ fn run(name: &str, selection: SelectionPolicy, backend: ReputationBackend) {
     let population = Population::generate(n, &ThreatConfig::independent(0.20), &mut rng);
     let malicious = population.malicious_peers().len();
 
-    let config = SessionConfig {
-        selection,
-        backend,
-        ..SessionConfig::gossiptrust(Params::for_network(n))
-    }
-    .scaled_down(2_000, 500); // 2000 files, reputation refresh each 500 queries
+    let config =
+        SessionConfig { selection, backend, ..SessionConfig::gossiptrust(Params::for_network(n)) }
+            .scaled_down(2_000, 500); // 2000 files, reputation refresh each 500 queries
 
     let mut session = FileSharingSession::new(population, config, &mut rng);
     session.run_queries(queries, &mut rng);

@@ -1,20 +1,47 @@
 #!/usr/bin/env bash
-# Tier-1 gate: build + full test suite, then a quick end-to-end smoke of
-# the experiment harness (which exercises the parallel gossip path on any
-# multi-core machine — the engine auto-sizes to GT_THREADS or the
-# available parallelism).
+# Tier-1 gate: build + full test suite per crate, then a quick end-to-end
+# smoke of the experiment harness (which exercises the parallel gossip
+# path on any multi-core machine — the engine auto-sizes to GT_THREADS or
+# the available parallelism) and of the service load generator.
 #
-#   scripts/tier1.sh            # full gate
+#   scripts/tier1.sh                # full gate
 #   GT_THREADS=2 scripts/tier1.sh   # pin the gossip thread count
-set -euo pipefail
+#
+# The per-crate test loop runs EVERY crate even after a failure and exits
+# nonzero if any crate failed, so one red crate cannot mask another.
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release
-cargo test -q
+failed=0
+
+step() {
+  echo
+  echo "=== $* ==="
+  if ! "$@"; then
+    echo "FAILED: $*" >&2
+    failed=1
+  fi
+}
+
+step cargo build --release --workspace
+
+# Per-crate test runs: a failure in one crate is reported but does not
+# stop the remaining crates from being tested.
+for manifest in crates/*/Cargo.toml; do
+  name=$(sed -n 's/^name = "\(.*\)"/\1/p' "$manifest" | head -n1)
+  step cargo test -q -p "$name"
+done
+
+# The facade crate (workspace root package), incl. the integration tests.
+step cargo test -q -p gossiptrust
+
+step env GT_QUICK=1 cargo run --release -p gossiptrust-experiments --bin all
+
+step env GT_BENCH_QUICK=1 cargo run --release -p gossiptrust-serve --bin loadgen
 
 echo
-echo "=== GT_QUICK=1 smoke of the full experiment harness ==="
-GT_QUICK=1 cargo run --release -p gossiptrust-experiments --bin all
-
-echo
+if [ "$failed" -ne 0 ]; then
+  echo "tier-1 gate FAILED (one or more steps above)" >&2
+  exit 1
+fi
 echo "tier-1 gate passed"

@@ -23,6 +23,7 @@
 //! | [`storage`] | `gossiptrust-storage` | Bloom-filter reputation-rank storage |
 //! | [`crypto`] | `gossiptrust-crypto` | SHA-256/HMAC + identity-based signing simulation |
 //! | [`net`] | `gossiptrust-net` | tokio async gossip runtime (channels + UDP) |
+//! | [`serve`] | `gossiptrust-serve` | epoch-driven reputation service: feedback ingest, versioned snapshots, TCP query front-end |
 //!
 //! # Quickstart
 //!
@@ -63,6 +64,7 @@ pub use gossiptrust_crypto as crypto;
 pub use gossiptrust_filesharing as filesharing;
 pub use gossiptrust_gossip as gossip;
 pub use gossiptrust_net as net;
+pub use gossiptrust_serve as serve;
 pub use gossiptrust_simnet as simnet;
 pub use gossiptrust_storage as storage;
 pub use gossiptrust_workloads as workloads;

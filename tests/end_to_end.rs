@@ -28,7 +28,8 @@ fn full_pipeline_from_feedback_to_rank_storage() {
     assert!(report.converged);
 
     // Store the converged ranking in Bloom buckets and read it back.
-    let storage = RankStorage::build(&report.vector, RankStorageConfig { levels: 6, fp_rate: 0.01 });
+    let storage =
+        RankStorage::build(&report.vector, RankStorageConfig { levels: 6, fp_rate: 0.01 });
     let top = report.vector.ranking()[0];
     assert_eq!(storage.rank_level(top), 0, "top peer must be in the best bucket");
     assert!(storage.byte_size() < storage.exact_table_bytes());
@@ -87,10 +88,7 @@ fn gossip_demotes_independent_attackers() {
     };
     let honest = avg(&scenario.population.honest_peers());
     let malicious = avg(&scenario.population.malicious_peers());
-    assert!(
-        honest > malicious,
-        "honest {honest} should outscore malicious {malicious}"
-    );
+    assert!(honest > malicious, "honest {honest} should outscore malicious {malicious}");
 }
 
 /// NoTrust is genuinely reputation-free: its vector is uniform and its
@@ -111,8 +109,8 @@ fn reputation_updating_warm_restart() {
     let n = 40;
     let scenario = benign_scenario(n, 7);
     let params = Params::for_network(n).with_epsilon(1e-7);
-    let agg = GossipTrustAggregator::new(params)
-        .with_prior_policy(PriorPolicy::Fixed(Prior::uniform(n)));
+    let agg =
+        GossipTrustAggregator::new(params).with_prior_policy(PriorPolicy::Fixed(Prior::uniform(n)));
     let mut rng = StdRng::seed_from_u64(8);
     let cold = agg.aggregate(&scenario.honest, &mut rng);
     let warm = agg.aggregate_with(&scenario.honest, &cold.vector, &UniformChooser, &mut rng);

@@ -1,0 +1,175 @@
+//! Integration test for the epoch-driven reputation service
+//! (`gossiptrust-serve`): a seeded 200-node workload, several epochs with
+//! concurrent queries, a bit-for-bit replay check against a direct
+//! `gossip::cycle` aggregation, and graceful degradation under an
+//! injected non-converging epoch.
+
+use gossiptrust::core::id::NodeId;
+use gossiptrust::core::params::Params;
+use gossiptrust::gossip::cycle::GossipTrustAggregator;
+use gossiptrust::gossip::engine::EngineConfig;
+use gossiptrust::gossip::UniformChooser;
+use gossiptrust::serve::service::{ReputationService, ServiceConfig};
+use gossiptrust::workloads::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+const N: usize = 200;
+
+/// Every peer rates ~10 Zipf-popular targets — a power-law feedback graph
+/// like the paper's workloads, deterministic under `seed`.
+fn ingest_workload(service: &ReputationService, seed: u64) {
+    let handle = service.handle();
+    let zipf = Zipf::new(N, 0.8);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for rater in 0..N {
+        for _ in 0..10 {
+            let target = zipf.sample(&mut rng) - 1;
+            if target != rater {
+                handle
+                    .record(
+                        NodeId::from_index(rater),
+                        NodeId::from_index(target),
+                        1.0 + rng.random::<f64>() * 4.0,
+                    )
+                    .expect("workload ids are in range");
+            }
+        }
+    }
+}
+
+#[test]
+fn service_epochs_with_concurrent_queries_and_failure_injection() {
+    let params = Params::for_network(N).with_threads(2);
+    let config = ServiceConfig {
+        params: params.clone(),
+        base_seed: 123,
+        // Epoch 3 is deliberately crippled so it cannot converge.
+        fail_epochs: vec![3],
+        ..ServiceConfig::new(N)
+    };
+    let service = ReputationService::start(config);
+    ingest_workload(&service, 1);
+
+    // --- Concurrent query load across the whole run -----------------------
+    let stop = Arc::new(AtomicBool::new(false));
+    let total_queries = Arc::new(AtomicU64::new(0));
+    let workers: Vec<_> = (0..4)
+        .map(|w| {
+            let handle = service.handle();
+            let stop = Arc::clone(&stop);
+            let total = Arc::clone(&total_queries);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(1000 + w);
+                let mut last_version = 0u64;
+                let mut count = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let peer = NodeId::from_index(rng.random_range(0..N));
+                    // (a) every query succeeds against some published
+                    // snapshot — never blocked, never torn.
+                    let score = handle.get_score(peer).expect("query must always succeed");
+                    assert!(score.score.is_finite(), "published scores are finite");
+                    assert!(
+                        score.version >= last_version,
+                        "snapshot versions never go backwards ({} after {})",
+                        score.version,
+                        last_version
+                    );
+                    last_version = score.version;
+
+                    let rank = handle.rank_of(peer).expect("rank query must succeed");
+                    assert!((rank.exact_rank as usize) < N);
+                    assert!(rank.bloom_level < rank.levels);
+
+                    let top = handle.top_k(5);
+                    assert_eq!(top.peers.len(), 5);
+                    // The view is internally consistent: it was computed
+                    // from exactly one snapshot, whatever its version.
+                    for window in top.peers.windows(2) {
+                        assert!(window[0].1 >= window[1].1, "top_k must be sorted descending");
+                    }
+                    count += 3;
+                }
+                total.fetch_add(count, Ordering::Relaxed);
+                last_version
+            })
+        })
+        .collect();
+
+    let handle = service.handle();
+
+    // --- Epoch 1 and 2: healthy ------------------------------------------
+    let e1 = handle.run_epoch_now().expect("epoch loop alive");
+    assert!(e1.published, "epoch 1 must converge and publish");
+    assert_eq!(e1.live_version, 1);
+    assert!(e1.gossip.steps > 0, "per-epoch GossipStats::diff captures activity");
+
+    ingest_workload(&service, 2);
+    let e2 = handle.run_epoch_now().expect("epoch loop alive");
+    assert!(e2.published, "epoch 2 must converge and publish");
+    assert_eq!(e2.live_version, 2);
+
+    // --- Epoch 3: injected non-convergence → graceful degradation ---------
+    let before_snapshot = handle.snapshot();
+    let degraded_before = handle.stats_report().epochs_degraded;
+    let e3 = handle.run_epoch_now().expect("epoch loop alive");
+    assert!(!e3.published, "crippled epoch must not publish");
+    assert!(!e3.converged);
+    let after_snapshot = handle.snapshot();
+    // (c) the previous snapshot keeps serving...
+    assert_eq!(after_snapshot.version, before_snapshot.version);
+    assert_eq!(after_snapshot.epoch, before_snapshot.epoch);
+    // ...and the degradation counter increments.
+    assert_eq!(handle.stats_report().epochs_degraded, degraded_before + 1);
+
+    // --- Epoch 4: recovery ------------------------------------------------
+    ingest_workload(&service, 3);
+    let e4 = handle.run_epoch_now().expect("epoch loop alive");
+    assert!(e4.published, "service recovers after a degraded epoch");
+    assert_eq!(e4.live_version, 3);
+    assert_eq!(handle.snapshot().epoch, 4, "epoch numbering includes the failed epoch");
+
+    // --- Stop the query load ---------------------------------------------
+    stop.store(true, Ordering::Relaxed);
+    let mut max_seen_version = 0;
+    for worker in workers {
+        max_seen_version = max_seen_version.max(worker.join().expect("query worker panicked"));
+    }
+    let issued = total_queries.load(Ordering::Relaxed);
+    assert!(issued > 0, "workers must have issued queries");
+    assert!(
+        handle.stats_report().queries_served >= issued,
+        "service counters account for every worker query"
+    );
+    assert!(max_seen_version <= 3, "workers never see an unpublished version");
+
+    // --- (b) bit-for-bit replay against a direct gossip::cycle run --------
+    let snapshot = handle.snapshot();
+    let matrix = snapshot
+        .matrix
+        .as_ref()
+        .expect("published snapshots record their matrix");
+    let replay = GossipTrustAggregator::new(params.clone())
+        .with_engine_config(EngineConfig::from_params(&params, N))
+        .aggregate_with(
+            matrix,
+            &snapshot.start,
+            &UniformChooser,
+            &mut StdRng::seed_from_u64(snapshot.seed),
+        );
+    assert_eq!(
+        replay.vector.values(),
+        snapshot.vector.values(),
+        "published scores must equal a direct gossip::cycle run bit-for-bit"
+    );
+
+    // Final accounting: 3 published epochs, 1 degraded.
+    let report = handle.stats_report();
+    assert_eq!(report.epochs_attempted, 4);
+    assert_eq!(report.epochs_published, 3);
+    assert_eq!(report.epochs_degraded, 1);
+
+    service.shutdown();
+}
