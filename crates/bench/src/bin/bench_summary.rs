@@ -77,7 +77,7 @@ fn measure(n: usize, threads: usize, budget_ms: u64) -> Sample {
 }
 
 fn main() {
-    let quick = std::env::var("GT_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let quick = gossiptrust_core::params::bench_quick();
     let (sizes, budget_ms): (&[usize], u64) = if quick {
         (&[60, 120], 200)
     } else {

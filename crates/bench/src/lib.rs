@@ -16,3 +16,5 @@
 //! figures; criterion tracks the raw component costs over time. The
 //! `bench_summary` binary distills the engine-step numbers into
 //! `BENCH_engine.json` for the recorded perf trajectory.
+
+#![forbid(unsafe_code)]

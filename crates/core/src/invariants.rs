@@ -1,0 +1,120 @@
+//! Runtime invariant checkers behind the `invariants` cargo feature.
+//!
+//! The checker *functions* are always compiled (so the negative tests that
+//! prove each checker trips run in every test configuration); what the
+//! feature gates is the **call sites** on the hot paths — matrix builds,
+//! vector constructors, every gossip step's mass accounting, and the
+//! service's snapshot-replay check. With the feature off the checks cost
+//! nothing; with it on, a violated conservation law panics at the step that
+//! broke it instead of surfacing cycles later as a skewed score.
+//!
+//! Tolerances are absolute-ish (`scale = max(|expected|, 1)`): the masses
+//! and sums checked here are all `O(1)` by construction (`Σv = 1`, per-node
+//! weight mass 1), so a relative tolerance on the expected value alone
+//! would go degenerate near zero.
+
+use crate::matrix::TrustMatrix;
+
+/// Tolerance for conserved-mass comparisons. Push-sum masses are sums of
+/// `O(n)` doubles of magnitude ≤ 1; accumulated rounding is `O(n·2⁻⁵²)`,
+/// orders of magnitude below this, while a genuine accounting bug loses at
+/// least half of one node's component (`~1/(2n)`), orders above it.
+pub const MASS_TOL: f64 = 1e-9;
+
+/// Tolerance for row-stochasticity of published trust matrices.
+pub const STOCHASTIC_TOL: f64 = 1e-9;
+
+/// Tolerance for score-vector normalization (`Σ_i v_i = 1`).
+pub const SCORE_SUM_TOL: f64 = 1e-9;
+
+/// Assert a conserved quantity matches its accounting.
+///
+/// # Panics
+/// Panics when `actual` differs from `expected` by more than
+/// [`MASS_TOL`] × `max(|expected|, 1)`.
+pub fn check_mass(component: usize, expected: f64, actual: f64, context: &str) {
+    let scale = expected.abs().max(1.0);
+    assert!(
+        (actual - expected).abs() <= MASS_TOL * scale,
+        "invariant violated [{context}]: component {component} mass {actual} \
+         diverged from conservation accounting {expected} (|Δ| = {})",
+        (actual - expected).abs()
+    );
+}
+
+/// Assert a trust matrix is row-stochastic (every stored row sums to 1
+/// within [`STOCHASTIC_TOL`], entries in `[0, 1]`; dangling rows are
+/// implicit-uniform and always stochastic).
+///
+/// # Panics
+/// Panics when the matrix is not row-stochastic.
+pub fn check_row_stochastic(matrix: &TrustMatrix, context: &str) {
+    assert!(
+        matrix.is_row_stochastic(STOCHASTIC_TOL),
+        "invariant violated [{context}]: trust matrix (n = {}) is not row-stochastic",
+        matrix.n()
+    );
+}
+
+/// Assert a score vector is a probability vector: non-empty, every
+/// component finite and non-negative, components summing to 1 within
+/// [`SCORE_SUM_TOL`].
+///
+/// # Panics
+/// Panics when any component is negative or non-finite, or the sum is off.
+pub fn check_score_vector(scores: &[f64], context: &str) {
+    assert!(!scores.is_empty(), "invariant violated [{context}]: empty score vector");
+    for (i, &v) in scores.iter().enumerate() {
+        assert!(
+            v.is_finite() && v >= 0.0,
+            "invariant violated [{context}]: score[{i}] = {v} is negative or non-finite"
+        );
+    }
+    let sum: f64 = scores.iter().sum();
+    assert!(
+        (sum - 1.0).abs() <= SCORE_SUM_TOL,
+        "invariant violated [{context}]: scores sum to {sum}, expected 1"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conserved_mass_passes_within_tolerance() {
+        check_mass(0, 1.0, 1.0 + 1e-12, "test");
+        check_mass(3, 0.0, 5e-10, "test");
+    }
+
+    #[test]
+    #[should_panic(expected = "diverged from conservation accounting")]
+    fn mass_violating_merge_trips_the_checker() {
+        // Half of one node's component went missing: exactly the class of
+        // bug the accounting exists to catch.
+        check_mass(7, 1.0, 1.0 - 0.5 / 128.0, "test");
+    }
+
+    #[test]
+    fn probability_vector_passes() {
+        check_score_vector(&[0.25, 0.25, 0.5], "test");
+    }
+
+    #[test]
+    #[should_panic(expected = "negative or non-finite")]
+    fn negative_score_trips_the_checker() {
+        check_score_vector(&[0.6, -0.1, 0.5], "test");
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to")]
+    fn unnormalized_scores_trip_the_checker() {
+        check_score_vector(&[0.6, 0.6], "test");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty score vector")]
+    fn empty_scores_trip_the_checker() {
+        check_score_vector(&[], "test");
+    }
+}

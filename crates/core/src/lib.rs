@@ -55,6 +55,7 @@
 pub mod convergence;
 pub mod error;
 pub mod id;
+pub mod invariants;
 pub mod local;
 pub mod matrix;
 pub mod metrics;

@@ -78,7 +78,10 @@ impl TrustMatrixBuilder {
             }
             row_ptr.push(cols.len());
         }
-        TrustMatrix { n: self.n, row_ptr, cols, vals }
+        let matrix = TrustMatrix { n: self.n, row_ptr, cols, vals };
+        #[cfg(feature = "invariants")]
+        crate::invariants::check_row_stochastic(&matrix, "TrustMatrixBuilder::build");
+        matrix
     }
 }
 
@@ -340,5 +343,16 @@ mod tests {
     fn record_out_of_range_panics() {
         let mut b = TrustMatrixBuilder::new(2);
         b.record(NodeId(0), NodeId(5), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not row-stochastic")]
+    fn non_stochastic_matrix_trips_the_invariant_checker() {
+        // Bypass the normalizing builder: a raw CSR matrix whose one row
+        // sums to 1.5 must be rejected by the checker the `invariants`
+        // feature installs behind every published matrix.
+        let bad =
+            TrustMatrix { n: 2, row_ptr: vec![0, 2, 2], cols: vec![0, 1], vals: vec![0.75, 0.75] };
+        crate::invariants::check_row_stochastic(&bad, "test");
     }
 }

@@ -57,7 +57,7 @@ pub fn max_relative_error(calculated: &[f64], estimated: &[f64]) -> f64 {
 pub fn top_k_overlap(a: &[NodeId], b: &[NodeId], k: usize) -> f64 {
     assert!(k > 0, "k must be positive");
     assert!(k <= a.len() && k <= b.len(), "k exceeds ranking length");
-    let set_a: std::collections::HashSet<NodeId> = a[..k].iter().copied().collect();
+    let set_a: std::collections::BTreeSet<NodeId> = a[..k].iter().copied().collect();
     let hits = b[..k].iter().filter(|id| set_a.contains(id)).count();
     hits as f64 / k as f64
 }

@@ -23,6 +23,76 @@ pub fn strict_positive_env(name: &str) -> Option<u64> {
     }
 }
 
+/// Strictly parse a boolean environment knob.
+///
+/// Returns `None` when `name` is unset or empty, `Some(true)` for
+/// `1`/`true`/`yes`, `Some(false)` for `0`/`false`/`no` (all
+/// case-insensitive), and **panics** on anything else. Same contract as
+/// [`strict_positive_env`]: a typo'd knob must die loudly at startup, not
+/// silently fall back to a default.
+pub fn strict_bool_env(name: &str) -> Option<bool> {
+    let raw = std::env::var(name).ok()?;
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return None;
+    }
+    if ["1", "true", "yes"].iter().any(|t| trimmed.eq_ignore_ascii_case(t)) {
+        return Some(true);
+    }
+    if ["0", "false", "no"].iter().any(|t| trimmed.eq_ignore_ascii_case(t)) {
+        return Some(false);
+    }
+    panic!("{name} must be a boolean (1/true/yes or 0/false/no), got {raw:?}");
+}
+
+/// `GT_QUICK`: reduced-scale mode for CI and smoke runs (default: off).
+///
+/// # Panics
+/// Panics when `GT_QUICK` is set to a non-boolean value
+/// (see [`strict_bool_env`]).
+pub fn quick_mode() -> bool {
+    strict_bool_env("GT_QUICK").unwrap_or(false)
+}
+
+/// `GT_BENCH_QUICK`: reduced measurement budgets for the benchmark
+/// binaries (default: off).
+///
+/// # Panics
+/// Panics when `GT_BENCH_QUICK` is set to a non-boolean value
+/// (see [`strict_bool_env`]).
+pub fn bench_quick() -> bool {
+    strict_bool_env("GT_BENCH_QUICK").unwrap_or(false)
+}
+
+/// `GT_N`: network-size override for experiments and service binaries.
+///
+/// # Panics
+/// Panics when `GT_N` is set to something other than a positive integer
+/// (see [`strict_positive_env`]).
+pub fn network_size_override() -> Option<usize> {
+    strict_positive_env("GT_N").map(|v| v as usize)
+}
+
+/// `GT_SERVICE_ADDR`: the service's TCP listen address
+/// (default `127.0.0.1:7401`).
+///
+/// # Panics
+/// Panics when `GT_SERVICE_ADDR` is set to something that does not parse
+/// as a socket address — a malformed address must abort startup, not
+/// surface later as a confusing bind error.
+pub fn service_addr() -> String {
+    match std::env::var("GT_SERVICE_ADDR") {
+        Ok(raw) if !raw.trim().is_empty() => {
+            let trimmed = raw.trim();
+            if trimmed.parse::<std::net::SocketAddr>().is_err() {
+                panic!("GT_SERVICE_ADDR must be a socket address like 127.0.0.1:7401, got {raw:?}");
+            }
+            trimmed.to_string()
+        }
+        _ => "127.0.0.1:7401".to_string(),
+    }
+}
+
 /// GossipTrust system parameters.
 ///
 /// The default values reproduce Table 2 of the paper ("Parameters and Default
@@ -274,6 +344,38 @@ mod tests {
     fn strict_env_panics_on_negative() {
         std::env::set_var("GT_TEST_STRICT_NEG", "-2");
         strict_positive_env("GT_TEST_STRICT_NEG");
+    }
+
+    #[test]
+    fn strict_bool_env_parses_both_spellings() {
+        std::env::set_var("GT_TEST_BOOL_ONE", "1");
+        assert_eq!(strict_bool_env("GT_TEST_BOOL_ONE"), Some(true));
+        std::env::set_var("GT_TEST_BOOL_TRUE", " True ");
+        assert_eq!(strict_bool_env("GT_TEST_BOOL_TRUE"), Some(true));
+        std::env::set_var("GT_TEST_BOOL_ZERO", "0");
+        assert_eq!(strict_bool_env("GT_TEST_BOOL_ZERO"), Some(false));
+        std::env::set_var("GT_TEST_BOOL_NO", "no");
+        assert_eq!(strict_bool_env("GT_TEST_BOOL_NO"), Some(false));
+        assert_eq!(strict_bool_env("GT_TEST_BOOL_UNSET"), None);
+        std::env::set_var("GT_TEST_BOOL_EMPTY", "");
+        assert_eq!(strict_bool_env("GT_TEST_BOOL_EMPTY"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "GT_TEST_BOOL_BAD must be a boolean")]
+    fn strict_bool_env_panics_on_garbage() {
+        std::env::set_var("GT_TEST_BOOL_BAD", "quick");
+        strict_bool_env("GT_TEST_BOOL_BAD");
+    }
+
+    #[test]
+    fn service_addr_defaults_without_env() {
+        // The GT_SERVICE_ADDR-set cases cannot be exercised here without
+        // racing other tests on the process-global environment; the strict
+        // parse path shares its shape with strict_bool_env above.
+        if std::env::var("GT_SERVICE_ADDR").is_err() {
+            assert_eq!(service_addr(), "127.0.0.1:7401");
+        }
     }
 
     #[test]

@@ -18,7 +18,10 @@ impl ReputationVector {
     /// The initial vector `V(0)` with equal scores `v_i(0) = 1/n`.
     pub fn uniform(n: usize) -> Self {
         assert!(n > 0, "network must have at least one node");
-        ReputationVector { values: vec![1.0 / n as f64; n] }
+        let v = ReputationVector { values: vec![1.0 / n as f64; n] };
+        #[cfg(feature = "invariants")]
+        crate::invariants::check_score_vector(v.values(), "ReputationVector::uniform");
+        v
     }
 
     /// Build from raw non-negative weights, normalizing to sum 1.
@@ -41,7 +44,10 @@ impl ReputationVector {
             });
         }
         let values = weights.into_iter().map(|w| w / total).collect();
-        Ok(ReputationVector { values })
+        let v = ReputationVector { values };
+        #[cfg(feature = "invariants")]
+        crate::invariants::check_score_vector(v.values(), "ReputationVector::from_weights");
+        Ok(v)
     }
 
     /// Network size `n`.

@@ -21,11 +21,14 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Read the scale from the `GT_QUICK` environment variable.
+    /// Read the scale from the `GT_QUICK` environment variable
+    /// (strict boolean parse via [`gossiptrust_core::params::quick_mode`];
+    /// a malformed value panics rather than silently running paper scale).
     pub fn from_env() -> Scale {
-        match std::env::var("GT_QUICK") {
-            Ok(v) if v == "1" || v.eq_ignore_ascii_case("true") => Scale::Quick,
-            _ => Scale::Paper,
+        if gossiptrust_core::params::quick_mode() {
+            Scale::Quick
+        } else {
+            Scale::Paper
         }
     }
 
@@ -47,12 +50,12 @@ impl Scale {
 
     /// The headline network size (Table 2: 1000). Override with `GT_N`
     /// for constrained machines (EXPERIMENTS.md records the value used
-    /// per table).
+    /// per table); a malformed value panics (strict parsing via
+    /// [`gossiptrust_core::params::network_size_override`]) rather than
+    /// silently running the default size.
     pub fn n(self) -> usize {
-        if let Ok(v) = std::env::var("GT_N") {
-            if let Ok(n) = v.parse::<usize>() {
-                return n.max(8);
-            }
+        if let Some(n) = gossiptrust_core::params::network_size_override() {
+            return n.max(8);
         }
         match self {
             Scale::Paper => 1000,

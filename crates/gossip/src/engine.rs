@@ -732,12 +732,17 @@ impl VectorGossipEngine {
         rng: &mut R,
     ) -> StepOutcome {
         let corrupt_active = self.draw_sends(chooser, rng);
+        #[cfg(feature = "invariants")]
+        let expected = self.expected_masses_after(corrupt_active);
         let read = self.make_read(corrupt_active);
         for task in &mut self.tasks {
             step_slab(&read, task.as_mut().expect("no step in flight"));
         }
         self.restore_read(read);
-        self.finish_step()
+        let outcome = self.finish_step();
+        #[cfg(feature = "invariants")]
+        self.assert_masses(&expected, "VectorGossipEngine::step");
+        outcome
     }
 
     /// A data-parallel [`step`](Self::step) over the engine's persistent
@@ -757,10 +762,24 @@ impl VectorGossipEngine {
             return self.step(chooser, rng);
         }
         let corrupt_active = self.draw_sends(chooser, rng);
+        #[cfg(feature = "invariants")]
+        let expected = self.expected_masses_after(corrupt_active);
         if self.pool.is_none() {
             self.pool = Some(WorkerPool::new(slabs - 1));
         }
         let read = Arc::new(self.make_read(corrupt_active));
+        // Shadow run of the sequential kernel over a copy of every task:
+        // the bit-identity contract checked against the pool's results
+        // below, every step, while the feature is on.
+        #[cfg(feature = "invariants")]
+        let shadow: Vec<SlabTask> = {
+            let mut shadow: Vec<SlabTask> =
+                self.tasks.iter().map(|t| t.clone().expect("no step in flight")).collect();
+            for task in &mut shadow {
+                step_slab(&read, task);
+            }
+            shadow
+        };
         // Slabs 1.. go to the workers; the caller thread computes slab 0.
         let pool = self.pool.as_ref().expect("pool just created");
         for k in 1..slabs {
@@ -780,7 +799,99 @@ impl VectorGossipEngine {
         let read = Arc::try_unwrap(read)
             .unwrap_or_else(|_| unreachable!("workers released the read state"));
         self.restore_read(read);
-        self.finish_step()
+        #[cfg(feature = "invariants")]
+        self.assert_par_matches_shadow(&shadow);
+        let outcome = self.finish_step();
+        #[cfg(feature = "invariants")]
+        self.assert_masses(&expected, "VectorGossipEngine::par_step");
+        outcome
+    }
+
+    /// Per-component `(Σx, Σw)` totals this step *should* end with,
+    /// derived from the send table before the step runs: the pre-step
+    /// totals, minus half the row of every alive sender whose push is
+    /// lost (loss-rate drop or dead receiver), plus the phantom mass
+    /// every *delivered* push from a disturber forges while the
+    /// corruption window is active. Injected faults are accounted, not
+    /// tolerated — so the conservation check stays exact under them.
+    #[cfg(feature = "invariants")]
+    fn expected_masses_after(&self, corrupt_active: bool) -> (Vec<f64>, Vec<f64>) {
+        let n = self.n;
+        let mut ex = vec![0.0; n];
+        let mut ew = vec![0.0; n];
+        for i in 0..n {
+            let (xs, ws) = self.row(i);
+            for j in 0..n {
+                ex[j] += xs[j];
+                ew[j] += ws[j];
+            }
+        }
+        for i in 0..n {
+            let delivered = self.sends[i] != NO_SEND;
+            if self.alive[i] && !delivered {
+                let (xs, ws) = self.row(i);
+                for j in 0..n {
+                    ex[j] -= 0.5 * xs[j];
+                    ew[j] -= 0.5 * ws[j];
+                }
+            }
+            if corrupt_active && delivered {
+                if let Some((targets, factor)) = &self.corruption[i] {
+                    let (xs, _) = self.row(i);
+                    for &j in targets {
+                        ex[j as usize] += 0.5 * xs[j as usize] * (factor - 1.0);
+                    }
+                }
+            }
+        }
+        (ex, ew)
+    }
+
+    /// Check every component's post-step mass against the accounting from
+    /// [`Self::expected_masses_after`].
+    #[cfg(feature = "invariants")]
+    fn assert_masses(&self, expected: &(Vec<f64>, Vec<f64>), context: &str) {
+        use gossiptrust_core::invariants::check_mass;
+        let n = self.n;
+        let mut ax = vec![0.0; n];
+        let mut aw = vec![0.0; n];
+        for i in 0..n {
+            let (xs, ws) = self.row(i);
+            for j in 0..n {
+                ax[j] += xs[j];
+                aw[j] += ws[j];
+            }
+        }
+        for j in 0..n {
+            check_mass(j, expected.0[j], ax[j], context);
+            check_mass(j, expected.1[j], aw[j], context);
+        }
+    }
+
+    /// Compare the pool-computed tasks against the sequential shadow run
+    /// **bit for bit** (`to_bits`, so NaN convergence memory compares
+    /// exactly too) — the determinism contract, enforced every parallel
+    /// step while the feature is on.
+    #[cfg(feature = "invariants")]
+    fn assert_par_matches_shadow(&self, shadow: &[SlabTask]) {
+        for (k, (task, shadow)) in self.tasks.iter().zip(shadow).enumerate() {
+            let task = task.as_ref().expect("all tasks returned");
+            let same_bits = |a: &[f64], b: &[f64]| {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+            };
+            assert!(
+                same_bits(&task.slab.xs, &shadow.slab.xs)
+                    && same_bits(&task.slab.ws, &shadow.slab.ws)
+                    && same_bits(&task.beta, &shadow.beta),
+                "invariant violated [VectorGossipEngine::par_step]: slab {k} diverged \
+                 from the sequential kernel (bit-identity contract)"
+            );
+            assert_eq!(
+                task.out, shadow.out,
+                "invariant violated [VectorGossipEngine::par_step]: slab {k} convergence \
+                 results diverged from the sequential kernel"
+            );
+        }
     }
 
     /// Run until all alive nodes converge or the step budget is exhausted,
@@ -1241,5 +1352,76 @@ mod tests {
             let rel = (est[j] - exact[j]).abs() / exact[j];
             assert!(rel < 1e-3, "comp {j}: {rel}");
         }
+    }
+}
+
+/// Tests of the `invariants` feature's engine-side checks: the faulted
+/// fast path must *pass* the accounting (faults are accounted, not
+/// tolerated), and a seeded discrepancy must *trip* it.
+#[cfg(all(test, feature = "invariants"))]
+mod invariant_tests {
+    use super::*;
+    use crate::chooser::UniformChooser;
+    use gossiptrust_core::matrix::TrustMatrixBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ring(n: usize) -> TrustMatrix {
+        let mut b = TrustMatrixBuilder::new(n);
+        for i in 0..n {
+            b.record(NodeId::from_index(i), NodeId::from_index((i + 1) % n), 1.0);
+        }
+        b.build()
+    }
+
+    fn seeded(n: usize, threads: usize, loss: f64) -> VectorGossipEngine {
+        let config = EngineConfig::from_params(&Params::for_network(n), n)
+            .with_threads(threads)
+            .with_loss_rate(loss);
+        let mut engine = VectorGossipEngine::new(n, config);
+        engine.seed(&ring(n), &ReputationVector::uniform(n), &Prior::uniform(n), 0.15);
+        engine
+    }
+
+    /// Loss, a dead node and an active disturber together: every step's
+    /// internal mass accounting and the par/seq shadow check must hold.
+    #[test]
+    fn faulted_steps_satisfy_the_accounting() {
+        let n = 48;
+        let mut engine = seeded(n, 4, 0.25);
+        engine.kill(NodeId(5));
+        engine.set_corruption(NodeId(2), vec![0, 7], 5.0);
+        let mut rng = StdRng::seed_from_u64(41);
+        for _ in 0..12 {
+            engine.par_step(&UniformChooser, &mut rng);
+        }
+        // And sequentially, same fault mix.
+        let mut engine = seeded(n, 1, 0.25);
+        engine.kill(NodeId(9));
+        engine.set_corruption(NodeId(3), vec![1], 4.0);
+        for _ in 0..12 {
+            engine.step(&UniformChooser, &mut rng);
+        }
+    }
+
+    /// A conservation accounting that disagrees with the state by half a
+    /// node's component — the smallest bug class the checker exists for —
+    /// must panic.
+    #[test]
+    #[should_panic(expected = "diverged from conservation accounting")]
+    fn leaked_mass_trips_the_checker() {
+        let n = 16;
+        let engine = seeded(n, 1, 0.0);
+        let mut ex = Vec::with_capacity(n);
+        let mut ew = Vec::with_capacity(n);
+        for j in 0..n {
+            let (x, w) = engine.component_mass(NodeId::from_index(j));
+            ex.push(x);
+            ew.push(w);
+        }
+        // Pretend component 0 should hold half a node's share more than
+        // the state actually does.
+        ex[0] += 0.5 / n as f64;
+        engine.assert_masses(&(ex, ew), "test");
     }
 }

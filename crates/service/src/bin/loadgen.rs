@@ -12,7 +12,7 @@
 //! `BENCH_engine.json` does.
 
 use gossiptrust_core::id::NodeId;
-use gossiptrust_core::params::strict_positive_env;
+use gossiptrust_core::params::{bench_quick, network_size_override};
 use gossiptrust_serve::loadgen::{report_json, run, LoadConfig};
 use gossiptrust_serve::service::{ReputationService, ServiceConfig};
 use gossiptrust_workloads::Zipf;
@@ -20,9 +20,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() {
-    let quick = std::env::var("GT_BENCH_QUICK").is_ok_and(|v| v == "1");
-    let default_n: u64 = if quick { 120 } else { 1_000 };
-    let n = strict_positive_env("GT_N").unwrap_or(default_n) as usize;
+    let quick = bench_quick();
+    let default_n: usize = if quick { 120 } else { 1_000 };
+    let n = network_size_override().unwrap_or(default_n);
     let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
 
     let service = ReputationService::start(ServiceConfig::new(n).with_seed(7));

@@ -13,12 +13,12 @@
 //! * `GT_SERVICE_ADDR` — TCP listen address (default `127.0.0.1:7401`)
 //! * `GT_THREADS` — gossip engine worker threads (default: machine)
 
-use gossiptrust_core::params::strict_positive_env;
+use gossiptrust_core::params::{network_size_override, service_addr};
 use gossiptrust_serve::service::{ReputationService, ServiceConfig};
 
 fn main() {
-    let n = strict_positive_env("GT_N").unwrap_or(1000) as usize;
-    let addr = std::env::var("GT_SERVICE_ADDR").unwrap_or_else(|_| "127.0.0.1:7401".to_string());
+    let n = network_size_override().unwrap_or(1000);
+    let addr = service_addr();
     let config = ServiceConfig::new(n).with_epoch_interval_from_env(1_000);
     let interval = config.epoch_interval.expect("interval set from env");
 

@@ -171,6 +171,8 @@ impl EpochManager {
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
 
         if healthy {
+            #[cfg(feature = "invariants")]
+            gossiptrust_core::invariants::check_row_stochastic(&matrix, "EpochManager::run_epoch");
             self.version += 1;
             self.cell.publish(ScoreSnapshot::from_vector(
                 self.version,
@@ -185,6 +187,8 @@ impl EpochManager {
                 report.converged,
                 wall_ms,
             ));
+            #[cfg(feature = "invariants")]
+            self.verify_replay();
         }
         self.stats.note_epoch_finished(healthy, &delta, wall_ms);
 
@@ -197,6 +201,34 @@ impl EpochManager {
             gossip: delta,
             wall_ms,
         }
+    }
+
+    /// Re-derive the just-published snapshot from its recorded
+    /// `(matrix, start, seed)` triple with a fresh aggregator and require
+    /// the score hashes to match **exactly** — the snapshot-replay
+    /// determinism contract, enforced after every publish while the
+    /// `invariants` feature is on.
+    #[cfg(feature = "invariants")]
+    fn verify_replay(&self) {
+        let snap = self.cell.load();
+        let matrix = snap.matrix.as_ref().expect("published snapshot records its matrix");
+        let replay = GossipTrustAggregator::new(self.aggregator.params().clone())
+            .with_engine_config(self.engine.config().clone())
+            .aggregate_with(
+                matrix,
+                &snap.start,
+                &UniformChooser,
+                &mut StdRng::seed_from_u64(snap.seed),
+            );
+        let published = score_hash(snap.vector.values());
+        let replayed = score_hash(replay.vector.values());
+        assert_eq!(
+            replayed, published,
+            "invariant violated [EpochManager::run_epoch]: epoch {} snapshot (version {}) \
+             does not replay bit-for-bit from its recorded (matrix, start, seed): \
+             replay hash {replayed:#018x} vs published {published:#018x}",
+            snap.epoch, snap.version
+        );
     }
 
     /// The epoch-loop thread body: tick every `interval` (or only on
@@ -227,6 +259,22 @@ impl EpochManager {
             }
         }
     }
+}
+
+/// FNV-1a over the raw bit patterns of a score vector — the stable
+/// fingerprint the snapshot-replay invariant compares. Bit patterns, not
+/// values: the contract is bit-for-bit reproducibility, so `-0.0` vs
+/// `0.0` (or any rounding drift) must be visible to the hash.
+#[cfg(feature = "invariants")]
+fn score_hash(scores: &[f64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &v in scores {
+        for byte in v.to_bits().to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
 }
 
 #[cfg(test)]
@@ -325,6 +373,27 @@ mod tests {
             snap.vector.values(),
             "published scores must replay bit-for-bit from (matrix, start, seed)"
         );
+    }
+
+    /// With the `invariants` feature on, every healthy `run_epoch` above
+    /// already re-derives its snapshot internally; this test seeds a
+    /// *tampered* snapshot and proves the replay checker trips on it.
+    #[cfg(feature = "invariants")]
+    #[test]
+    #[should_panic(expected = "does not replay bit-for-bit")]
+    fn tampered_snapshot_trips_the_replay_checker() {
+        use gossiptrust_core::vector::ReputationVector;
+        let (log, cell, _stats, mut mgr) = setup(24, vec![]);
+        ring_feedback(&log, 24);
+        assert!(mgr.run_epoch().published);
+        // Overwrite the published scores with something the recorded
+        // (matrix, start, seed) cannot reproduce.
+        let mut snap = (*cell.load()).clone();
+        snap.version += 1;
+        snap.vector =
+            ReputationVector::from_weights((1..=24).map(|i| i as f64).collect()).unwrap();
+        cell.publish(snap);
+        mgr.verify_replay();
     }
 
     #[test]

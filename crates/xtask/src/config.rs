@@ -1,0 +1,175 @@
+//! `lint.toml` — the checked-in waiver file.
+//!
+//! Every waiver names one `(rule, file)` pair and a reason, so the diff
+//! review of a new waiver *is* the audit trail:
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "float-eq"
+//! path = "crates/core/src/matrix.rs"
+//! reason = "zero-skip fast paths compare exact 0.0 sentinels"
+//! ```
+//!
+//! The parser is a deliberate subset of TOML (`[[allow]]` tables with
+//! string keys) so the linter stays dependency-free; unknown keys, unknown
+//! rules and waivers for files that no longer exist are hard errors —
+//! stale waivers must not linger.
+
+use crate::rules::RULE_NAMES;
+
+/// One `[[allow]]` entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Waiver {
+    /// Rule identifier (validated against [`RULE_NAMES`]).
+    pub rule: String,
+    /// Repo-relative `/`-separated file path the waiver applies to.
+    pub path: String,
+    /// Why the waiver exists (required, shown in `--list-waivers`).
+    pub reason: String,
+    /// Line in lint.toml (for error messages).
+    pub line: u32,
+}
+
+/// The parsed waiver file.
+#[derive(Clone, Debug, Default)]
+pub struct LintConfig {
+    /// All waivers, in file order.
+    pub waivers: Vec<Waiver>,
+}
+
+impl LintConfig {
+    /// True if `(rule, path)` is waived.
+    pub fn is_allowed(&self, rule: &str, path: &str) -> bool {
+        self.waivers.iter().any(|w| w.rule == rule && w.path == path)
+    }
+}
+
+/// Parse the waiver file contents.
+///
+/// # Errors
+/// Returns a human-readable message for malformed syntax, unknown keys,
+/// unknown rule names, or entries missing `rule`/`path`/`reason`.
+pub fn parse(source: &str) -> Result<LintConfig, String> {
+    let mut waivers: Vec<Waiver> = Vec::new();
+    let mut current: Option<Waiver> = None;
+    for (idx, raw) in source.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            if let Some(w) = current.take() {
+                finish(&mut waivers, w)?;
+            }
+            current = Some(Waiver {
+                rule: String::new(),
+                path: String::new(),
+                reason: String::new(),
+                line: lineno,
+            });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("lint.toml:{lineno}: expected `key = \"value\"`, got {line:?}"));
+        };
+        let key = key.trim();
+        let value = value.trim();
+        let value = value
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| format!("lint.toml:{lineno}: value of `{key}` must be a quoted string"))?;
+        let Some(w) = current.as_mut() else {
+            return Err(format!(
+                "lint.toml:{lineno}: `{key}` outside an [[allow]] table"
+            ));
+        };
+        match key {
+            "rule" => w.rule = value.to_string(),
+            "path" => w.path = value.to_string(),
+            "reason" => w.reason = value.to_string(),
+            other => {
+                return Err(format!("lint.toml:{lineno}: unknown key `{other}`"));
+            }
+        }
+    }
+    if let Some(w) = current.take() {
+        finish(&mut waivers, w)?;
+    }
+    Ok(LintConfig { waivers })
+}
+
+fn finish(waivers: &mut Vec<Waiver>, w: Waiver) -> Result<(), String> {
+    if w.rule.is_empty() || w.path.is_empty() || w.reason.is_empty() {
+        return Err(format!(
+            "lint.toml:{}: an [[allow]] entry needs all of rule, path, reason",
+            w.line
+        ));
+    }
+    if !RULE_NAMES.contains(&w.rule.as_str()) {
+        return Err(format!(
+            "lint.toml:{}: unknown rule {:?} (known: {})",
+            w.line,
+            w.rule,
+            RULE_NAMES.join(", ")
+        ));
+    }
+    if waivers.iter().any(|p| p.rule == w.rule && p.path == w.path) {
+        return Err(format!(
+            "lint.toml:{}: duplicate waiver for ({}, {})",
+            w.line, w.rule, w.path
+        ));
+    }
+    waivers.push(w);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_comments() {
+        let cfg = parse(
+            "# header\n\n[[allow]]\nrule = \"float-eq\"\npath = \"crates/a/src/x.rs\"\n\
+             reason = \"exact sentinel\"\n\n[[allow]]\nrule = \"env-var\"\n\
+             path = \"crates/b/src/y.rs\"\nreason = \"designated accessor\"\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.waivers.len(), 2);
+        assert!(cfg.is_allowed("float-eq", "crates/a/src/x.rs"));
+        assert!(!cfg.is_allowed("float-eq", "crates/b/src/y.rs"));
+    }
+
+    #[test]
+    fn rejects_unknown_rules_and_keys() {
+        let err = parse("[[allow]]\nrule = \"no-such\"\npath = \"a\"\nreason = \"r\"\n")
+            .unwrap_err();
+        assert!(err.contains("unknown rule"), "{err}");
+        let err = parse("[[allow]]\nrule = \"float-eq\"\nfile = \"a\"\n").unwrap_err();
+        assert!(err.contains("unknown key"), "{err}");
+    }
+
+    #[test]
+    fn rejects_incomplete_and_duplicate_entries() {
+        let err = parse("[[allow]]\nrule = \"float-eq\"\npath = \"a\"\n").unwrap_err();
+        assert!(err.contains("needs all of"), "{err}");
+        let two = "[[allow]]\nrule = \"float-eq\"\npath = \"a\"\nreason = \"r\"\n";
+        let err = parse(&format!("{two}{two}")).unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn rejects_keys_outside_tables_and_bad_syntax() {
+        assert!(parse("rule = \"float-eq\"\n").unwrap_err().contains("outside"));
+        assert!(parse("[[allow]]\nrule float-eq\n").unwrap_err().contains("expected"));
+        assert!(parse("[[allow]]\nrule = float-eq\n").unwrap_err().contains("quoted"));
+    }
+
+    #[test]
+    fn empty_config_allows_nothing() {
+        let cfg = parse("# nothing here\n").unwrap();
+        assert!(cfg.waivers.is_empty());
+        assert!(!cfg.is_allowed("float-eq", "x"));
+    }
+}

@@ -1,0 +1,443 @@
+//! A small, self-contained Rust lexer.
+//!
+//! gt-lint works on token streams, not text: comments and string literals
+//! are classified (so `"env::var"` inside a doc string never trips the
+//! env-var rule), float literals are distinguished from integers and from
+//! range/field syntax (`1..2`, `x.0`), and multi-character operators are
+//! munched maximally so `==` is one token the rules can anchor on.
+//!
+//! The lexer is intentionally lossless about *lines* (every token carries
+//! its 1-based line) and lossy about everything the rules do not need
+//! (whitespace, comment text, exact string contents).
+
+/// What kind of token this is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`foo`, `fn`, `mod`, `r#match`).
+    Ident,
+    /// Integer literal (`3`, `0xFF`, `1_000u64`).
+    Int,
+    /// Float literal (`1.0`, `2.`, `1e-3`, `3f64`).
+    Float,
+    /// String, raw-string, byte-string or C-string literal.
+    Str,
+    /// Character literal (`'a'`, `'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Punctuation / operator, maximal munch (`==`, `::`, `..=`, `{`).
+    Punct,
+}
+
+/// One token: kind, text, and the 1-based source line it starts on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// The token's text (for `Str` the raw contents are replaced by `""`).
+    pub text: String,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// True if this is punctuation with exactly this text.
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == p
+    }
+
+    /// True if this is an identifier with exactly this text.
+    pub fn is_ident(&self, id: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == id
+    }
+}
+
+/// Multi-character operators, longest first (maximal munch).
+const PUNCTS: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "==", "!=", "<=", ">=", "::", "->", "=>", "..", "&&", "||", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+/// Tokenize `source`, skipping whitespace and comments.
+///
+/// The lexer is forgiving: on malformed input (unterminated string, stray
+/// byte) it emits what it can and moves on — gt-lint runs on code that
+/// rustc already accepts, so recovery paths are never load-bearing.
+pub fn tokenize(source: &str) -> Vec<Token> {
+    let b = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        // Newlines & whitespace.
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == b'/' && i + 1 < b.len() {
+            if b[i + 1] == b'/' {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            if b[i + 1] == b'*' {
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+        }
+        // Raw / byte / C strings: r"", r#""#, b"", br"", c"", etc.
+        if let Some((len, newlines)) = scan_string_prefix(&b[i..]) {
+            tokens.push(Token { kind: TokenKind::Str, text: String::new(), line });
+            line += newlines;
+            i += len;
+            continue;
+        }
+        // Raw identifiers r#foo (after raw strings so r#"..." wins).
+        if c == b'r' && i + 1 < b.len() && b[i + 1] == b'#' && i + 2 < b.len() && is_ident_start(b[i + 2]) {
+            let start = i + 2;
+            let mut j = start;
+            while j < b.len() && is_ident_continue(b[j]) {
+                j += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: source[start..j].to_string(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == b'\'' {
+            if let Some((len, is_char)) = scan_quote(&b[i..]) {
+                if is_char {
+                    tokens.push(Token { kind: TokenKind::Char, text: String::new(), line });
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: source[i..i + len].to_string(),
+                        line,
+                    });
+                }
+                i += len;
+                continue;
+            }
+        }
+        // Identifiers / keywords.
+        if is_ident_start(c) {
+            let start = i;
+            while i < b.len() && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: source[start..i].to_string(),
+                line,
+            });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let (len, is_float) = scan_number(&b[i..]);
+            tokens.push(Token {
+                kind: if is_float { TokenKind::Float } else { TokenKind::Int },
+                text: source[i..i + len].to_string(),
+                line,
+            });
+            i += len;
+            continue;
+        }
+        // Punctuation, maximal munch.
+        let rest = &source[i..];
+        if let Some(p) = PUNCTS.iter().find(|p| rest.starts_with(**p)) {
+            tokens.push(Token { kind: TokenKind::Punct, text: (*p).to_string(), line });
+            i += p.len();
+            continue;
+        }
+        tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: (c as char).to_string(),
+            line,
+        });
+        i += 1;
+    }
+    tokens
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+/// If `b` starts a (possibly raw/byte/C) string literal, return its total
+/// byte length and the number of newlines it spans.
+fn scan_string_prefix(b: &[u8]) -> Option<(usize, u32)> {
+    // Optional prefix letters before the quote / raw marker.
+    let mut j = 0usize;
+    if j < b.len() && (b[j] == b'b' || b[j] == b'c') {
+        j += 1;
+    }
+    let raw = j < b.len() && b[j] == b'r';
+    if raw {
+        j += 1;
+        let mut hashes = 0usize;
+        while j < b.len() && b[j] == b'#' {
+            hashes += 1;
+            j += 1;
+        }
+        if j >= b.len() || b[j] != b'"' {
+            return None;
+        }
+        j += 1;
+        let mut newlines = 0u32;
+        while j < b.len() {
+            if b[j] == b'\n' {
+                newlines += 1;
+            }
+            if b[j] == b'"' {
+                let mut k = 0usize;
+                while k < hashes && j + 1 + k < b.len() && b[j + 1 + k] == b'#' {
+                    k += 1;
+                }
+                if k == hashes {
+                    return Some((j + 1 + hashes, newlines));
+                }
+            }
+            j += 1;
+        }
+        return Some((b.len(), newlines));
+    }
+    if j >= b.len() || b[j] != b'"' {
+        return None;
+    }
+    j += 1;
+    let mut newlines = 0u32;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'"' => return Some((j + 1, newlines)),
+            b'\n' => {
+                newlines += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    Some((b.len(), newlines))
+}
+
+/// Disambiguate a char literal from a lifetime. `b` starts with `'`.
+/// Returns `(length, is_char)`.
+fn scan_quote(b: &[u8]) -> Option<(usize, bool)> {
+    if b.len() < 2 {
+        return None;
+    }
+    // Escaped char: '\x'
+    if b[1] == b'\\' {
+        let mut j = 2usize;
+        while j < b.len() && b[j] != b'\'' {
+            if b[j] == b'\\' {
+                j += 1;
+            }
+            j += 1;
+        }
+        return Some((j + 1, true));
+    }
+    // 'c' — a single non-quote char followed by a closing quote.
+    if b[1] != b'\'' {
+        // Punctuation char literal like '=' or ' ' (not an ident char).
+        if !is_ident_continue(b[1]) {
+            if b.len() >= 3 && b[2] == b'\'' {
+                return Some((3, true));
+            }
+            return None;
+        }
+        // Ident-ish run: either a char ('a', possibly multi-byte 'é') when a
+        // closing quote follows, else a lifetime ('a, 'static).
+        let mut j = 1usize;
+        while j < b.len() && is_ident_continue(b[j]) {
+            j += 1;
+        }
+        if j < b.len() && b[j] == b'\'' {
+            return Some((j + 1, true));
+        }
+        return Some((j, false));
+    }
+    None
+}
+
+/// Scan a numeric literal; `b[0]` is a digit. Returns `(length, is_float)`.
+fn scan_number(b: &[u8]) -> (usize, bool) {
+    let mut j = 0usize;
+    // Radix prefixes are always integers.
+    if b[0] == b'0' && b.len() > 1 && matches!(b[1], b'x' | b'o' | b'b') {
+        j = 2;
+        while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+            j += 1;
+        }
+        return (j, false);
+    }
+    while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'_') {
+        j += 1;
+    }
+    let mut is_float = false;
+    // Fractional part — but not `..` (range) and not `.ident` (method/field).
+    if j < b.len() && b[j] == b'.' {
+        let next = b.get(j + 1).copied();
+        let next_is_range = next == Some(b'.');
+        let next_is_ident = next.is_some_and(is_ident_start);
+        if !next_is_range && !next_is_ident {
+            is_float = true;
+            j += 1;
+            while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'_') {
+                j += 1;
+            }
+        }
+    }
+    // Exponent.
+    if j < b.len() && (b[j] == b'e' || b[j] == b'E') {
+        let mut k = j + 1;
+        if k < b.len() && (b[k] == b'+' || b[k] == b'-') {
+            k += 1;
+        }
+        if k < b.len() && b[k].is_ascii_digit() {
+            is_float = true;
+            j = k;
+            while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'_') {
+                j += 1;
+            }
+        }
+    }
+    // Suffix (u32, f64, ...). A float suffix forces float-ness.
+    if j < b.len() && is_ident_start(b[j]) {
+        let start = j;
+        while j < b.len() && is_ident_continue(b[j]) {
+            j += 1;
+        }
+        let suffix = &b[start..j];
+        if suffix == b"f32" || suffix == b"f64" {
+            is_float = true;
+        }
+    }
+    (j, is_float)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn floats_vs_ints_vs_ranges() {
+        let t = kinds("1.0 2. 1e-3 3f64 7 0xFF 1..2 4_000 2.5e10");
+        assert_eq!(t[0].0, TokenKind::Float);
+        assert_eq!(t[1].0, TokenKind::Float);
+        assert_eq!(t[2].0, TokenKind::Float);
+        assert_eq!(t[3].0, TokenKind::Float);
+        assert_eq!(t[4].0, TokenKind::Int);
+        assert_eq!(t[5].0, TokenKind::Int);
+        // 1..2 lexes as Int, Punct(..), Int
+        assert_eq!(t[6], (TokenKind::Int, "1".into()));
+        assert_eq!(t[7], (TokenKind::Punct, "..".into()));
+        assert_eq!(t[8], (TokenKind::Int, "2".into()));
+        assert_eq!(t[9].0, TokenKind::Int);
+        assert_eq!(t[10].0, TokenKind::Float);
+    }
+
+    #[test]
+    fn method_on_int_literal_is_not_float() {
+        let t = kinds("1.max(2)");
+        assert_eq!(t[0], (TokenKind::Int, "1".into()));
+        assert_eq!(t[1], (TokenKind::Punct, ".".into()));
+        assert_eq!(t[2], (TokenKind::Ident, "max".into()));
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_leak_tokens() {
+        let t = kinds("a // x == 1.0\nb /* y != 2.0 */ c \"z == 3.0\" d");
+        let idents: Vec<&str> = t
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(idents, ["a", "b", "c", "d"]);
+        assert!(t.iter().all(|(k, _)| *k != TokenKind::Float));
+    }
+
+    #[test]
+    fn raw_strings_and_nested_comments() {
+        let t = kinds("r#\"a == 1.0 \"#, x /* outer /* inner */ still */ y");
+        assert_eq!(t[0].0, TokenKind::Str);
+        let idents: Vec<&str> = t
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(idents, ["x", "y"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let t = kinds("'a 'static 'x' '\\n' '=' ");
+        assert_eq!(t[0].0, TokenKind::Lifetime);
+        assert_eq!(t[1].0, TokenKind::Lifetime);
+        assert_eq!(t[2].0, TokenKind::Char);
+        assert_eq!(t[3].0, TokenKind::Char);
+        assert_eq!(t[4].0, TokenKind::Char);
+    }
+
+    #[test]
+    fn maximal_munch_operators() {
+        let t = kinds("a == b != c ..= d :: e");
+        assert!(t[1].1 == "==");
+        assert!(t[3].1 == "!=");
+        assert!(t[5].1 == "..=");
+        assert!(t[7].1 == "::");
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = tokenize("a\nb\n\nc \"multi\nline\" d");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+        assert_eq!(toks[3].line, 4); // the string starts on line 4
+        assert_eq!(toks[4].line, 5); // d comes after the embedded newline
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let t = kinds("r#match r#type");
+        assert_eq!(t[0], (TokenKind::Ident, "match".into()));
+        assert_eq!(t[1], (TokenKind::Ident, "type".into()));
+    }
+}

@@ -1,0 +1,183 @@
+//! # gossiptrust-xtask
+//!
+//! Workspace automation, `cargo xtask` style. The one subcommand that
+//! matters is **`gt-lint`** (`cargo xtask lint`): a repo-specific static
+//! analysis pass that machine-checks the contracts the compiler cannot
+//! see — float-equality hygiene, the single env-knob surface, hash-free
+//! deterministic kernels, `#![forbid(unsafe_code)]` coverage, and the ban
+//! on ambient entropy. See [`rules`] for the rule set and `DESIGN.md` §8
+//! for the contract rationale.
+//!
+//! The crate is **dependency-free by design**: the linter is the first CI
+//! gate and must build and run before any of the workspace's external
+//! dependencies resolve. It therefore walks token streams from its own
+//! small lexer ([`lexer`]) rather than a full AST; every rule is written
+//! against tokens plus just enough structure (bracket matching, attribute
+//! and `cfg(test)`-module detection) to be precise on this codebase.
+//!
+//! Waivers live in the checked-in `lint.toml` ([`config`]): one
+//! `(rule, path, reason)` triple per exception, validated strictly so
+//! stale entries cannot linger.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+use config::LintConfig;
+use rules::Violation;
+use std::path::Path;
+
+/// Outcome of a full lint run.
+#[derive(Clone, Debug, Default)]
+pub struct LintReport {
+    /// Violations that survived the waiver filter (non-empty = fail).
+    pub violations: Vec<Violation>,
+    /// Waivers present in lint.toml that matched no violation this run.
+    /// Reported as warnings — the waiver (or the rule) has gone stale.
+    pub unused_waivers: Vec<config::Waiver>,
+    /// How many files were scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// True when the tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Run the full gt-lint pass over the workspace at `root`.
+///
+/// Reads `lint.toml` at the root (absence = no waivers), scans every
+/// lintable source (see [`walk::rust_sources`]), and filters violations
+/// through the waiver list.
+///
+/// # Errors
+/// Configuration problems (malformed lint.toml, waivers naming unknown
+/// rules or nonexistent files) and unreadable sources are errors — a lint
+/// run must never silently skip what it cannot check.
+pub fn run_lint(root: &Path) -> Result<LintReport, String> {
+    let config_path = root.join("lint.toml");
+    let config: LintConfig = if config_path.is_file() {
+        let text = std::fs::read_to_string(&config_path)
+            .map_err(|e| format!("reading lint.toml: {e}"))?;
+        config::parse(&text)?
+    } else {
+        LintConfig::default()
+    };
+    for w in &config.waivers {
+        if !root.join(&w.path).is_file() {
+            return Err(format!(
+                "lint.toml:{}: waiver for ({}, {}) names a file that does not exist",
+                w.line, w.rule, w.path
+            ));
+        }
+    }
+
+    let files = walk::rust_sources(root);
+    let mut violations = Vec::new();
+    let mut used = vec![false; config.waivers.len()];
+    for rel in &files {
+        let source = std::fs::read_to_string(root.join(rel))
+            .map_err(|e| format!("reading {rel}: {e}"))?;
+        let tokens = lexer::tokenize(&source);
+        for v in rules::check_file(rel, &tokens, rules::classify(rel)) {
+            match config
+                .waivers
+                .iter()
+                .position(|w| w.rule == v.rule && w.path == v.path)
+            {
+                Some(idx) => used[idx] = true,
+                None => violations.push(v),
+            }
+        }
+    }
+    let unused_waivers = config
+        .waivers
+        .iter()
+        .zip(&used)
+        .filter(|(_, &u)| !u)
+        .map(|(w, _)| w.clone())
+        .collect();
+    Ok(LintReport { violations, unused_waivers, files_scanned: files.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gt_lint_run_{name}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(dir.join("crates/k/src")).unwrap();
+        fs::write(dir.join("Cargo.toml"), "[workspace]").unwrap();
+        dir
+    }
+
+    #[test]
+    fn clean_tree_is_clean() {
+        let root = scratch("clean");
+        fs::write(
+            root.join("crates/k/src/lib.rs"),
+            "#![forbid(unsafe_code)]\npub fn f(x: f64) -> bool { x > 0.5 }\n",
+        )
+        .unwrap();
+        let report = run_lint(&root).unwrap();
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert_eq!(report.files_scanned, 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn waivers_suppress_and_stale_waivers_surface() {
+        let root = scratch("waive");
+        fs::write(
+            root.join("crates/k/src/lib.rs"),
+            "#![forbid(unsafe_code)]\npub fn f(x: f64) -> bool { x == 0.5 }\n",
+        )
+        .unwrap();
+        // Unwaived: one float-eq violation.
+        let report = run_lint(&root).unwrap();
+        assert_eq!(report.violations.len(), 1);
+        // Waived: clean, waiver used.
+        fs::write(
+            root.join("lint.toml"),
+            "[[allow]]\nrule = \"float-eq\"\npath = \"crates/k/src/lib.rs\"\nreason = \"r\"\n",
+        )
+        .unwrap();
+        let report = run_lint(&root).unwrap();
+        assert!(report.is_clean());
+        assert!(report.unused_waivers.is_empty());
+        // Over-waived: a second waiver that matches nothing is reported.
+        fs::write(
+            root.join("lint.toml"),
+            "[[allow]]\nrule = \"float-eq\"\npath = \"crates/k/src/lib.rs\"\nreason = \"r\"\n\
+             [[allow]]\nrule = \"entropy\"\npath = \"crates/k/src/lib.rs\"\nreason = \"r\"\n",
+        )
+        .unwrap();
+        let report = run_lint(&root).unwrap();
+        assert_eq!(report.unused_waivers.len(), 1);
+        assert_eq!(report.unused_waivers[0].rule, "entropy");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn waiver_for_missing_file_is_an_error() {
+        let root = scratch("missing");
+        fs::write(root.join("crates/k/src/lib.rs"), "#![forbid(unsafe_code)]\n").unwrap();
+        fs::write(
+            root.join("lint.toml"),
+            "[[allow]]\nrule = \"float-eq\"\npath = \"crates/gone.rs\"\nreason = \"r\"\n",
+        )
+        .unwrap();
+        let err = run_lint(&root).unwrap_err();
+        assert!(err.contains("does not exist"), "{err}");
+        let _ = fs::remove_dir_all(&root);
+    }
+}

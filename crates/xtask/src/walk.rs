@@ -1,0 +1,112 @@
+//! Source discovery: every `.rs` file the lint pass covers.
+//!
+//! The walk is rooted at the workspace root and visits `src/`, `tests/`,
+//! `examples/` and every `crates/*/{src,tests,benches,examples}` tree —
+//! i.e. all Rust sources that end up in some crate — while skipping
+//! `target/` and hidden directories. Paths are returned repo-relative with
+//! `/` separators, sorted, so lint output is stable across platforms.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Find the workspace root by walking up from `start` until a directory
+/// containing both `Cargo.toml` and `crates/` is found.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// All lintable `.rs` files under `root`, repo-relative, sorted.
+pub fn rust_sources(root: &Path) -> Vec<String> {
+    let mut out = Vec::new();
+    for top in ["src", "tests", "examples"] {
+        collect(root, &root.join(top), &mut out);
+    }
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        let mut crates: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+        crates.sort();
+        for krate in crates {
+            for sub in ["src", "tests", "benches", "examples"] {
+                collect(root, &krate.join(sub), &mut out);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+fn collect(root: &Path, dir: &Path, out: &mut Vec<String>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        if path.is_dir() {
+            collect(root, &path, out);
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gt_lint_walk_{name}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn walks_crate_trees_and_skips_target() {
+        let root = scratch("walk");
+        for d in ["crates/a/src", "crates/a/tests", "src", "target/debug", "crates/b/src/deep"] {
+            fs::create_dir_all(root.join(d)).unwrap();
+        }
+        fs::write(root.join("Cargo.toml"), "[workspace]").unwrap();
+        fs::write(root.join("src/lib.rs"), "").unwrap();
+        fs::write(root.join("crates/a/src/lib.rs"), "").unwrap();
+        fs::write(root.join("crates/a/tests/t.rs"), "").unwrap();
+        fs::write(root.join("crates/b/src/deep/m.rs"), "").unwrap();
+        fs::write(root.join("target/debug/gen.rs"), "").unwrap();
+        fs::write(root.join("crates/a/src/notes.txt"), "").unwrap();
+        let files = rust_sources(&root);
+        assert_eq!(
+            files,
+            vec![
+                "crates/a/src/lib.rs",
+                "crates/a/tests/t.rs",
+                "crates/b/src/deep/m.rs",
+                "src/lib.rs",
+            ]
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn find_root_walks_up() {
+        let root = scratch("root");
+        fs::create_dir_all(root.join("crates/a/src")).unwrap();
+        fs::write(root.join("Cargo.toml"), "[workspace]").unwrap();
+        assert_eq!(find_root(&root.join("crates/a/src")).unwrap(), root);
+        let _ = fs::remove_dir_all(&root);
+    }
+}

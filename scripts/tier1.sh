@@ -25,6 +25,11 @@ step() {
 
 step cargo build --release --workspace
 
+# Repo-specific static analysis (gt-lint): float-eq hygiene, the single
+# env-knob surface, hash-free kernels, forbid(unsafe_code) coverage, no
+# ambient entropy. Waivers live in lint.toml.
+step cargo xtask lint
+
 # Per-crate test runs: a failure in one crate is reported but does not
 # stop the remaining crates from being tested.
 for manifest in crates/*/Cargo.toml; do
@@ -34,6 +39,12 @@ done
 
 # The facade crate (workspace root package), incl. the integration tests.
 step cargo test -q -p gossiptrust
+
+# One shard with the runtime invariant layer on: per-step mass
+# conservation, par/seq bit-identity, snapshot-replay determinism.
+step cargo test -q -p gossiptrust-core --features invariants
+step cargo test -q -p gossiptrust-gossip --features invariants
+step cargo test -q -p gossiptrust-serve --features invariants
 
 step env GT_QUICK=1 cargo run --release -p gossiptrust-experiments --bin all
 
