@@ -1,11 +1,12 @@
-//! Flat-arena vector gossip engine: sequential vs pool-parallel step cost.
+//! Flat-arena vector gossip engine: the thread-sweep step-cost matrix.
 //!
-//! Tracks the tentpole hot path — one `O(n²)` gossip step — at three
-//! network sizes, for the sequential step (`threads = 1`) and the
-//! persistent-pool parallel step (`threads = 4`). Both paths produce
-//! bit-identical results, so this is a pure wall-time comparison. The
-//! `bench_summary` binary in this crate distills the same measurement into
-//! `BENCH_engine.json` for the perf trajectory.
+//! Tracks the tentpole hot path — one `O(n²)` tiled gossip step — over
+//! the full `n × threads` matrix (three network sizes × thread counts
+//! 1/2/4), so the speedup *trajectory* is visible per size, not just one
+//! headline number. Every cell produces bit-identical results (the
+//! engine's determinism contract), so this is a pure wall-time
+//! comparison. The `bench_summary` binary in this crate distills the same
+//! matrix into `BENCH_engine.json` for the perf trajectory.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gossiptrust_core::id::NodeId;
@@ -45,8 +46,12 @@ fn bench_engine_step(c: &mut Criterion) {
         let m = ring_matrix(n);
         // n² triplets move per step.
         group.throughput(Throughput::Elements((n * n) as u64));
-        for &threads in &[1usize, 4] {
-            let label = if threads == 1 { "seq" } else { "par4" };
+        for &threads in &[1usize, 2, 4] {
+            let label = match threads {
+                1 => "seq",
+                2 => "par2",
+                _ => "par4",
+            };
             group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
                 let mut engine = seeded_engine(n, threads, &m);
                 let mut rng = StdRng::seed_from_u64(6);

@@ -1,10 +1,12 @@
 //! Distill the engine-step and service-query benchmarks into
 //! `BENCH_engine.json` and `BENCH_service.json`.
 //!
-//! Measures ns/step of the vector gossip engine, sequential (`threads = 1`)
-//! vs pool-parallel (`threads = 4`), at n ∈ {250, 1000, 4000}, then drives
-//! a Zipf query mix against an in-process reputation service, and writes
-//! both machine-readable records to continue the perf trajectory:
+//! Measures ns/step of the vector gossip engine over the `n × threads`
+//! matrix (n ∈ {250, 1000, 4000} × threads ∈ {1, 2, 4}), distills a
+//! per-`n` speedup sweep plus a machine-readable `baseline_delta` against
+//! the previously committed `BENCH_engine.json`, then drives a Zipf query
+//! mix against an in-process reputation service, and writes both records
+//! to continue the perf trajectory:
 //!
 //! ```text
 //! cargo run --release -p gossiptrust-bench --bin bench_summary
@@ -13,7 +15,10 @@
 //! Set `GT_BENCH_QUICK=1` for a seconds-long smoke pass at reduced sizes
 //! (recorded as such in both JSONs). Both files record the measuring
 //! machine's core count — a speedup near 1.0 on a single-core box is the
-//! expected honest result, not a regression.
+//! expected honest result, not a regression. `baseline_delta` compares
+//! like cells (same `n`, same `threads`) only, so a regression shows up
+//! as a positive `ns_delta_pct` wherever the machine matches the one the
+//! baseline was recorded on.
 
 use gossiptrust_core::id::NodeId;
 use gossiptrust_core::matrix::{TrustMatrix, TrustMatrixBuilder};
@@ -76,6 +81,32 @@ fn measure(n: usize, threads: usize, budget_ms: u64) -> Sample {
     Sample { n, threads, ns_per_step: batches[batches.len() / 2], steps_timed }
 }
 
+/// Pull the `(n, threads, ns_per_step)` cells out of a previously written
+/// `BENCH_engine.json`. Hand-rolled like the writer (no serde_json in this
+/// crate): scans for the exact key shapes the writer emits, one result
+/// object per line, and skips anything malformed — an unreadable or
+/// reformatted baseline yields an empty delta, never a crash.
+fn parse_baseline(text: &str) -> Vec<(usize, usize, f64)> {
+    fn field(line: &str, key: &str) -> Option<f64> {
+        let at = line.find(key)? + key.len();
+        let rest = line[at..].trim_start();
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+            .unwrap_or(rest.len());
+        rest[..end].parse().ok()
+    }
+    text.lines()
+        .filter_map(|line| {
+            let n = field(line, "\"n\":")? as usize;
+            let threads = field(line, "\"threads\":")? as usize;
+            let ns = field(line, "\"ns_per_step\":")?;
+            (ns > 0.0).then_some((n, threads, ns))
+        })
+        .collect()
+}
+
+const THREAD_SWEEP: [usize; 3] = [1, 2, 4];
+
 fn main() {
     let quick = gossiptrust_core::params::bench_quick();
     let (sizes, budget_ms): (&[usize], u64) = if quick {
@@ -84,10 +115,15 @@ fn main() {
         (&[250, 1_000, 4_000], 2_000)
     };
     let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let tile = gossiptrust_core::params::tile_width();
+    // Read the committed record *before* overwriting it.
+    let baseline = std::fs::read_to_string("BENCH_engine.json")
+        .map(|t| parse_baseline(&t))
+        .unwrap_or_default();
 
     let mut samples = Vec::new();
     for &n in sizes {
-        for threads in [1usize, 4] {
+        for threads in THREAD_SWEEP {
             let s = measure(n, threads, budget_ms);
             println!(
                 "n={:5}  threads={}  {:>12.0} ns/step  ({} steps timed)",
@@ -96,26 +132,75 @@ fn main() {
             samples.push(s);
         }
     }
+    let cell = |n: usize, threads: usize| {
+        samples
+            .iter()
+            .find(|s| s.n == n && s.threads == threads)
+            .expect("swept cell exists")
+    };
 
-    // Headline: parallel speedup at the largest size.
+    // Per-n thread-sweep speedups (seq ns / par ns), plus the headline at
+    // the largest size.
     let largest = *sizes.last().expect("sizes non-empty");
-    let seq = samples
+    let speedup = |n: usize, threads: usize| cell(n, 1).ns_per_step / cell(n, threads).ns_per_step;
+    for &n in sizes {
+        let per_n: Vec<String> = THREAD_SWEEP[1..]
+            .iter()
+            .map(|&t| format!("{t} thr {:.2}x", speedup(n, t)))
+            .collect();
+        println!("n={n:5}  speedups: {}", per_n.join(", "));
+    }
+    let headline = speedup(largest, 4);
+    println!("\nspeedup at n={largest} with 4 threads on {cores} core(s): {headline:.2}x");
+
+    // Like-for-like deltas vs the committed baseline (negative = faster).
+    let deltas: Vec<(usize, usize, f64, f64)> = samples
         .iter()
-        .find(|s| s.n == largest && s.threads == 1)
-        .expect("seq sample exists");
-    let par = samples
-        .iter()
-        .find(|s| s.n == largest && s.threads == 4)
-        .expect("par sample exists");
-    let speedup = seq.ns_per_step / par.ns_per_step;
-    println!("\nspeedup at n={largest} with 4 threads on {cores} core(s): {speedup:.2}x");
+        .filter_map(|s| {
+            let (_, _, old) = baseline.iter().find(|&&(n, t, _)| n == s.n && t == s.threads)?;
+            Some((s.n, s.threads, *old, (s.ns_per_step - old) / old * 100.0))
+        })
+        .collect();
+    for &(n, threads, _, pct) in &deltas {
+        println!("baseline delta n={n:5} threads={threads}: {pct:+.1}%");
+    }
 
     // Hand-rolled JSON: flat numeric records, nothing needing escaping.
     let mut json = String::from("{\n");
     json.push_str("  \"bench\": \"engine_step\",\n");
     json.push_str(&format!("  \"quick\": {quick},\n"));
     json.push_str(&format!("  \"cores\": {cores},\n"));
-    json.push_str(&format!("  \"speedup_largest_n_4_threads\": {speedup:.4},\n"));
+    json.push_str(&format!("  \"tile\": {tile},\n"));
+    json.push_str("  \"profile\": {\"lto\": \"thin\", \"codegen_units\": 1},\n");
+    json.push_str(&format!("  \"speedup_largest_n_4_threads\": {headline:.4},\n"));
+    json.push_str("  \"speedups\": [\n");
+    let mut rows = Vec::new();
+    for &n in sizes {
+        for &t in &THREAD_SWEEP[1..] {
+            rows.push(format!(
+                "    {{\"n\": {n}, \"threads\": {t}, \"speedup\": {:.4}}}",
+                speedup(n, t)
+            ));
+        }
+    }
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n  ],\n");
+    json.push_str("  \"baseline_delta\": [\n");
+    let rows: Vec<String> = deltas
+        .iter()
+        .map(|&(n, threads, old, pct)| {
+            format!(
+                "    {{\"n\": {n}, \"threads\": {threads}, \"baseline_ns_per_step\": {old:.1}, \
+                 \"ns_delta_pct\": {pct:.1}}}"
+            )
+        })
+        .collect();
+    json.push_str(&rows.join(",\n"));
+    json.push_str(if rows.is_empty() {
+        "  ],\n"
+    } else {
+        "\n  ],\n"
+    });
     json.push_str("  \"results\": [\n");
     for (i, s) in samples.iter().enumerate() {
         json.push_str(&format!(

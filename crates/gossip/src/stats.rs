@@ -2,6 +2,32 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Estimated bytes of memory traffic one gossip step streams, for an
+/// `n`-node engine that delivered `delivered` pushes, with a step kernel
+/// tiled at `tile` destination columns (see `engine::step_slab`).
+///
+/// The model counts every array the tiled kernel touches exactly once —
+/// which is the point of the tiling (the untiled kernel re-streamed the
+/// write row once *per sender*):
+///
+/// * own row read (`x` + `w`): `2n` f64 per row → `16n²` bytes,
+/// * next-state write (`x` + `w`): `16n²` bytes,
+/// * convergence memory `β` read + write: `16n²` bytes,
+/// * each delivered push reads the sender's `x`/`w` row once: `16n` bytes,
+/// * the CSR sender ids (u32) are re-read once per tile sweep:
+///   `4 · delivered · ⌈n/tile⌉` bytes.
+///
+/// It is an *estimate*: dead rows skip the β stream and cache residency
+/// makes real DRAM traffic lower, but the figure tracks the right order
+/// and, divided by step wall time, shows when the kernel is
+/// bandwidth-bound (compare against the machine's stream bandwidth).
+pub fn step_bytes_estimate(n: usize, delivered: usize, tile: usize) -> u64 {
+    let n = n as u64;
+    let delivered = delivered as u64;
+    let sweeps = n.div_ceil(tile.max(1) as u64);
+    48 * n * n + 16 * n * delivered + 4 * delivered * sweeps
+}
+
 /// Counters accumulated by a gossip engine.
 ///
 /// A "message" is one gossip pair/vector pushed across the network (the
@@ -18,6 +44,10 @@ pub struct GossipStats {
     pub messages_dropped: u64,
     /// Total triplets carried by sent messages (bandwidth proxy).
     pub triplets_sent: u64,
+    /// Estimated bytes of memory traffic streamed by the step kernel
+    /// (see [`step_bytes_estimate`]) — the observable for the engine's
+    /// bandwidth-boundedness, accumulated per step.
+    pub bytes_streamed: u64,
 }
 
 impl GossipStats {
@@ -27,6 +57,7 @@ impl GossipStats {
         self.messages_sent += other.messages_sent;
         self.messages_dropped += other.messages_dropped;
         self.triplets_sent += other.triplets_sent;
+        self.bytes_streamed += other.bytes_streamed;
     }
 
     /// Counter deltas accumulated since `before` was captured (the inverse
@@ -39,7 +70,8 @@ impl GossipStats {
             self.steps >= before.steps
                 && self.messages_sent >= before.messages_sent
                 && self.messages_dropped >= before.messages_dropped
-                && self.triplets_sent >= before.triplets_sent,
+                && self.triplets_sent >= before.triplets_sent
+                && self.bytes_streamed >= before.bytes_streamed,
             "diff against a later snapshot"
         );
         GossipStats {
@@ -47,6 +79,17 @@ impl GossipStats {
             messages_sent: self.messages_sent - before.messages_sent,
             messages_dropped: self.messages_dropped - before.messages_dropped,
             triplets_sent: self.triplets_sent - before.triplets_sent,
+            bytes_streamed: self.bytes_streamed - before.bytes_streamed,
+        }
+    }
+
+    /// Mean estimated bytes streamed per executed step (0 before any step)
+    /// — the `stats::diff`-friendly readout of [`step_bytes_estimate`].
+    pub fn bytes_streamed_per_step(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.bytes_streamed as f64 / self.steps as f64
         }
     }
 
@@ -66,22 +109,49 @@ mod tests {
 
     #[test]
     fn absorb_sums_fields() {
-        let mut a =
-            GossipStats { steps: 1, messages_sent: 10, messages_dropped: 2, triplets_sent: 100 };
-        let b = GossipStats { steps: 2, messages_sent: 5, messages_dropped: 0, triplets_sent: 50 };
+        let mut a = GossipStats {
+            steps: 1,
+            messages_sent: 10,
+            messages_dropped: 2,
+            triplets_sent: 100,
+            bytes_streamed: 1000,
+        };
+        let b = GossipStats {
+            steps: 2,
+            messages_sent: 5,
+            messages_dropped: 0,
+            triplets_sent: 50,
+            bytes_streamed: 500,
+        };
         a.absorb(&b);
         assert_eq!(
             a,
-            GossipStats { steps: 3, messages_sent: 15, messages_dropped: 2, triplets_sent: 150 }
+            GossipStats {
+                steps: 3,
+                messages_sent: 15,
+                messages_dropped: 2,
+                triplets_sent: 150,
+                bytes_streamed: 1500,
+            }
         );
     }
 
     #[test]
     fn diff_inverts_absorb() {
-        let before =
-            GossipStats { steps: 1, messages_sent: 10, messages_dropped: 2, triplets_sent: 100 };
-        let delta =
-            GossipStats { steps: 2, messages_sent: 5, messages_dropped: 1, triplets_sent: 50 };
+        let before = GossipStats {
+            steps: 1,
+            messages_sent: 10,
+            messages_dropped: 2,
+            triplets_sent: 100,
+            bytes_streamed: 1000,
+        };
+        let delta = GossipStats {
+            steps: 2,
+            messages_sent: 5,
+            messages_dropped: 1,
+            triplets_sent: 50,
+            bytes_streamed: 700,
+        };
         let mut after = before;
         after.absorb(&delta);
         assert_eq!(after.diff(&before), delta);
@@ -94,5 +164,29 @@ mod tests {
         assert_eq!(GossipStats::default().drop_rate(), 0.0);
         let s = GossipStats { messages_sent: 4, messages_dropped: 1, ..Default::default() };
         assert_eq!(s.drop_rate(), 0.25);
+    }
+
+    /// Pin the traffic model: every term of [`step_bytes_estimate`] is
+    /// checked against the hand-computed expansion for a small step.
+    #[test]
+    fn step_bytes_estimate_matches_the_model() {
+        // n = 8, 5 delivered pushes, tile 4 → 2 tile sweeps per row.
+        let n = 8u64;
+        let delivered = 5u64;
+        let expected = 48 * n * n            // own read + next write + β rw
+            + 16 * n * delivered             // one sender-row read per push
+            + 4 * delivered * 2; // CSR ids re-read once per sweep
+        assert_eq!(step_bytes_estimate(8, 5, 4), expected);
+        // One tile covering the whole row: exactly one CSR sweep.
+        assert_eq!(step_bytes_estimate(8, 5, 1024), 48 * 64 + 16 * 8 * 5 + 4 * 5);
+        // No deliveries: pure state streaming.
+        assert_eq!(step_bytes_estimate(8, 0, 4), 48 * 64);
+    }
+
+    #[test]
+    fn bytes_streamed_per_step_averages() {
+        assert_eq!(GossipStats::default().bytes_streamed_per_step(), 0.0);
+        let s = GossipStats { steps: 4, bytes_streamed: 1000, ..Default::default() };
+        assert!((s.bytes_streamed_per_step() - 250.0).abs() < 1e-12);
     }
 }

@@ -1,20 +1,27 @@
-//! A minimized model of the engine's slab **ownership ping-pong** protocol
-//! (see `WorkerPool` in `engine.rs`): per-worker job channels deliver an
-//! owned task plus an `Arc` of the shared read state; workers mutate their
-//! task, release the `Arc`, and send the task back over one shared result
-//! channel; the caller computes task 0 itself and then reclaims the read
-//! state with `Arc::try_unwrap`.
+//! A minimized model of the engine's **buffer-swap** step protocol (see
+//! `WorkerPool` / `finish_step` in `engine.rs`): the current state lives in
+//! persistent `Arc` arenas; each round the caller hands every worker its
+//! cost-balanced share of owned write tasks (several per worker — the
+//! engine over-decomposes slabs) plus `Arc` clones of the read state;
+//! workers fill their write buffers from the arenas, release the `Arc`,
+//! and send each task back over one shared result channel; the caller
+//! computes its own share, reclaims the read state with `Arc::try_unwrap`
+//! / `Arc::get_mut`, and publishes by `mem::swap`ping every freshly
+//! written buffer with its read arena.
 //!
-//! The model checks the three properties the engine's safety rests on,
-//! under scheduling jitter and across many rounds:
+//! The model checks the four properties the engine's safety rests on,
+//! under scheduling jitter, a round-varying slab→worker assignment and
+//! many rounds:
 //!
 //! 1. **ownership conservation** — every task comes back exactly once per
-//!    round (never lost, never duplicated);
-//! 2. **release-before-report** — `Arc::try_unwrap` on the read state
-//!    succeeds every round, i.e. every worker dropped its reference
-//!    *before* reporting its task back;
+//!    round (never lost, never duplicated), for any assignment;
+//! 2. **release-before-publish** — `Arc::try_unwrap` on the shared read
+//!    handle and `Arc::get_mut` on every read arena succeed every round,
+//!    i.e. every worker dropped its references *before* reporting back;
 //! 3. **round isolation** — each task is advanced exactly once per round
-//!    (a stale or double delivery would show up in the generation count).
+//!    (a stale or double delivery would show up in the generation count);
+//! 4. **swap publication** — after the swap the arenas hold exactly the
+//!    values written this round (no torn or skipped slab).
 //!
 //! This is the loom-style model for the protocol minus the exhaustive
 //! scheduler (loom is not a dependency of this workspace); the nightly
@@ -27,16 +34,19 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread;
 
-/// Stand-in for `StepRead`: shared, immutable during a round.
+/// Stand-in for `StepRead`: the round tag plus `Arc` handles onto the
+/// persistent read arenas (shared, immutable during a round).
 struct Read {
     round: u64,
+    arenas: Vec<Arc<Vec<u64>>>,
 }
 
-/// Stand-in for `SlabTask`: owned by exactly one party at a time.
+/// Stand-in for `SlabTask`: the double-buffered write side of one slab,
+/// owned by exactly one party at a time.
 struct Task {
-    id: usize,
+    slab: usize,
     generation: u64,
-    payload: Vec<u64>,
+    buf: Vec<u64>,
 }
 
 struct Job {
@@ -45,11 +55,28 @@ struct Job {
 }
 
 const WORKERS: usize = 3;
+const SLABS: usize = 8; // over-decomposed: ~2 slabs per executor
 const ROUNDS: u64 = 400;
 const PAYLOAD: usize = 64;
 
+/// The model kernel both the caller and the workers run: next state =
+/// current arena value + round (so arena contents after round `R` must be
+/// `1 + 2 + … + R`, which pins the swap publication).
+fn fill(read: &Read, task: &mut Task) {
+    task.generation += 1;
+    assert_eq!(
+        task.generation, read.round,
+        "task {} advanced out of lockstep with the round",
+        task.slab
+    );
+    let src = &read.arenas[task.slab];
+    for (d, &s) in task.buf.iter_mut().zip(src.iter()) {
+        *d = s.wrapping_add(read.round);
+    }
+}
+
 #[test]
-fn ownership_ping_pong_conserves_tasks_and_releases_reads() {
+fn buffer_swap_rounds_conserve_tasks_and_release_reads() {
     let (result_tx, result_rx) = mpsc::channel::<Task>();
     let mut job_txs = Vec::with_capacity(WORKERS);
     let mut handles = Vec::with_capacity(WORKERS);
@@ -61,22 +88,16 @@ fn ownership_ping_pong_conserves_tasks_and_releases_reads() {
             // to vary the interleaving between rounds.
             let mut lcg: u64 = 0x9E37_79B9_7F4A_7C15 ^ (w as u64 + 1);
             while let Ok(Job { read, mut task }) = rx.recv() {
-                task.generation += 1;
-                assert_eq!(
-                    task.generation, read.round,
-                    "task {} advanced out of lockstep with the round",
-                    task.id
-                );
-                for v in &mut task.payload {
-                    *v = v.wrapping_add(read.round);
-                }
-                lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                fill(&read, &mut task);
+                lcg = lcg
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 if lcg % 3 == 0 {
                     thread::yield_now();
                 }
                 // The protocol's load-bearing line: release the shared
                 // read state BEFORE reporting back, so the caller's
-                // `Arc::try_unwrap` can reclaim it.
+                // `Arc::try_unwrap` / `Arc::get_mut` can reclaim it.
                 drop(read);
                 if result_tx.send(task).is_err() {
                     break;
@@ -86,43 +107,69 @@ fn ownership_ping_pong_conserves_tasks_and_releases_reads() {
         job_txs.push(tx);
     }
 
-    // WORKERS + 1 tasks: workers own 1..=WORKERS during a round, the
-    // caller computes task 0 itself — exactly the engine's split.
-    let mut tasks: Vec<Option<Task>> = (0..=WORKERS)
-        .map(|id| Some(Task { id, generation: 0, payload: vec![0; PAYLOAD] }))
+    // Persistent read arenas + one write task per slab, exactly the
+    // engine's layout.
+    let mut arenas: Vec<Arc<Vec<u64>>> = (0..SLABS).map(|_| Arc::new(vec![0; PAYLOAD])).collect();
+    let mut tasks: Vec<Option<Task>> = (0..SLABS)
+        .map(|slab| Some(Task { slab, generation: 0, buf: vec![0; PAYLOAD] }))
         .collect();
 
     for round in 1..=ROUNDS {
-        let read = Arc::new(Read { round });
-        for k in 1..=WORKERS {
+        let read = Arc::new(Read { round, arenas: arenas.clone() });
+        // Round-varying assignment over caller + workers, like the
+        // engine's per-step sender-weighted binning: bin 0 is the caller.
+        let bin_of = |slab: usize| (slab + round as usize) % (WORKERS + 1);
+        let mut outstanding = 0;
+        for k in 0..SLABS {
+            let b = bin_of(k);
+            if b == 0 {
+                continue;
+            }
             let task = tasks[k].take().expect("task checked out twice");
-            job_txs[k - 1].send(Job { read: Arc::clone(&read), task }).expect("worker exited");
+            job_txs[b - 1]
+                .send(Job { read: Arc::clone(&read), task })
+                .expect("worker exited");
+            outstanding += 1;
         }
-        let mut own = tasks[0].take().expect("task 0 checked out twice");
-        own.generation += 1;
-        for v in &mut own.payload {
-            *v = v.wrapping_add(round);
+        for k in 0..SLABS {
+            if bin_of(k) == 0 {
+                let mut own = tasks[k].take().expect("task 0 checked out twice");
+                fill(&read, &mut own);
+                tasks[k] = Some(own);
+            }
         }
-        tasks[0] = Some(own);
-        for _ in 0..WORKERS {
+        for _ in 0..outstanding {
             let task = result_rx.recv().expect("worker panicked");
-            let id = task.id;
-            assert!(tasks[id].is_none(), "task {id} returned twice in one round");
-            tasks[id] = Some(task);
+            let k = task.slab;
+            assert!(tasks[k].is_none(), "task {k} returned twice in one round");
+            tasks[k] = Some(task);
         }
-        // Property 2: every worker released its reference before its
+        // Property 2a: every worker released the shared handle before its
         // result arrived, so the caller's reference is the only one left.
         let read = Arc::try_unwrap(read)
             .unwrap_or_else(|_| panic!("round {round}: a worker reported before releasing"));
         assert_eq!(read.round, round);
+        drop(read); // releases the per-round arena clones
+                    // Property 2b + 4: reclaim each arena and publish by buffer swap —
+                    // the freshly written buffer becomes the readable state, the old
+                    // state becomes the slab's write buffer for the next round.
+        for (k, arena) in arenas.iter_mut().enumerate() {
+            let task = tasks[k].as_mut().expect("task missing at publish");
+            let cur = Arc::get_mut(arena)
+                .unwrap_or_else(|| panic!("round {round}: arena {k} still shared at publish"));
+            std::mem::swap(cur, &mut task.buf);
+        }
     }
 
-    // Properties 1 and 3, cumulatively: every task advanced exactly once
-    // per round, and every payload slot absorbed every round's increment.
+    // Properties 1, 3 and 4, cumulatively: every task advanced exactly
+    // once per round, and every published arena slot absorbed every
+    // round's increment.
     let expected_sum: u64 = (1..=ROUNDS).sum();
     for task in tasks.iter().map(|t| t.as_ref().expect("task missing at shutdown")) {
-        assert_eq!(task.generation, ROUNDS, "task {}", task.id);
-        assert!(task.payload.iter().all(|&v| v == expected_sum), "task {}", task.id);
+        assert_eq!(task.generation, ROUNDS, "task {}", task.slab);
+    }
+    for (k, arena) in arenas.iter().enumerate() {
+        assert!(arena.iter().all(|&v| v == expected_sum), "arena {k}");
     }
 
     // Shutdown exactly like `WorkerPool::drop`: closing the job channels
@@ -135,7 +182,8 @@ fn ownership_ping_pong_conserves_tasks_and_releases_reads() {
 
 /// Shutdown with jobs still in flight must not deadlock or lose a task:
 /// the drain pattern the engine relies on when the pool is dropped
-/// mid-stream.
+/// mid-stream. (Several queued jobs per channel is the steady state now —
+/// a worker owns its whole cost-balanced share of the slabs at once.)
 #[test]
 fn shutdown_with_inflight_jobs_is_clean() {
     let (result_tx, result_rx) = mpsc::channel::<Task>();
@@ -150,12 +198,9 @@ fn shutdown_with_inflight_jobs_is_clean() {
         }
     });
     for round in 1..=32u64 {
-        let read = Arc::new(Read { round });
-        tx.send(Job {
-            read,
-            task: Task { id: 0, generation: 0, payload: vec![] },
-        })
-        .expect("worker exited early");
+        let read = Arc::new(Read { round, arenas: Vec::new() });
+        tx.send(Job { read, task: Task { slab: 0, generation: 0, buf: vec![] } })
+            .expect("worker exited early");
     }
     // Close the job channel with results unread, then drain: all 32 tasks
     // must still come back before the channel disconnects.

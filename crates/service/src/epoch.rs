@@ -390,8 +390,7 @@ mod tests {
         // (matrix, start, seed) cannot reproduce.
         let mut snap = (*cell.load()).clone();
         snap.version += 1;
-        snap.vector =
-            ReputationVector::from_weights((1..=24).map(|i| i as f64).collect()).unwrap();
+        snap.vector = ReputationVector::from_weights((1..=24).map(|i| i as f64).collect()).unwrap();
         cell.publish(snap);
         mgr.verify_replay();
     }

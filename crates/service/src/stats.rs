@@ -27,6 +27,7 @@ pub struct ServiceStats {
     gossip_messages_sent: AtomicU64,
     gossip_messages_dropped: AtomicU64,
     gossip_triplets_sent: AtomicU64,
+    gossip_bytes_streamed: AtomicU64,
     /// Wall time of the most recent epoch, in microseconds.
     last_epoch_wall_us: AtomicU64,
 }
@@ -76,6 +77,8 @@ impl ServiceStats {
             .fetch_add(delta.messages_dropped, Ordering::Relaxed);
         self.gossip_triplets_sent
             .fetch_add(delta.triplets_sent, Ordering::Relaxed);
+        self.gossip_bytes_streamed
+            .fetch_add(delta.bytes_streamed, Ordering::Relaxed);
         self.last_epoch_wall_us
             .store((wall_ms * 1_000.0) as u64, Ordering::Relaxed);
     }
@@ -112,6 +115,7 @@ impl ServiceStats {
                 messages_sent: self.gossip_messages_sent.load(Ordering::Relaxed),
                 messages_dropped: self.gossip_messages_dropped.load(Ordering::Relaxed),
                 triplets_sent: self.gossip_triplets_sent.load(Ordering::Relaxed),
+                bytes_streamed: self.gossip_bytes_streamed.load(Ordering::Relaxed),
             },
             last_epoch_wall_ms: self.last_epoch_wall_us.load(Ordering::Relaxed) as f64 / 1_000.0,
         }
@@ -125,8 +129,13 @@ mod tests {
     #[test]
     fn epoch_accounting_splits_published_and_degraded() {
         let stats = ServiceStats::new();
-        let delta =
-            GossipStats { steps: 10, messages_sent: 20, messages_dropped: 1, triplets_sent: 200 };
+        let delta = GossipStats {
+            steps: 10,
+            messages_sent: 20,
+            messages_dropped: 1,
+            triplets_sent: 200,
+            bytes_streamed: 4_000,
+        };
         stats.note_epoch_started();
         stats.note_epoch_finished(true, &delta, 1.5);
         stats.note_epoch_started();
@@ -138,6 +147,10 @@ mod tests {
         // Both epochs' gossip activity is absorbed, published or not.
         assert_eq!(r.gossip.steps, 20);
         assert_eq!(r.gossip.messages_sent, 40);
+        // The kernel-traffic estimate rides along (and the per-step mean
+        // readout with it: 8000 bytes over 20 steps).
+        assert_eq!(r.gossip.bytes_streamed, 8_000);
+        assert!((r.gossip.bytes_streamed_per_step() - 400.0).abs() < 1e-12);
         assert!((r.last_epoch_wall_ms - 2.5).abs() < 1e-3);
     }
 

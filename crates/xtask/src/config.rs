@@ -78,11 +78,11 @@ pub fn parse(source: &str) -> Result<LintConfig, String> {
         let value = value
             .strip_prefix('"')
             .and_then(|v| v.strip_suffix('"'))
-            .ok_or_else(|| format!("lint.toml:{lineno}: value of `{key}` must be a quoted string"))?;
+            .ok_or_else(|| {
+                format!("lint.toml:{lineno}: value of `{key}` must be a quoted string")
+            })?;
         let Some(w) = current.as_mut() else {
-            return Err(format!(
-                "lint.toml:{lineno}: `{key}` outside an [[allow]] table"
-            ));
+            return Err(format!("lint.toml:{lineno}: `{key}` outside an [[allow]] table"));
         };
         match key {
             "rule" => w.rule = value.to_string(),
@@ -115,10 +115,7 @@ fn finish(waivers: &mut Vec<Waiver>, w: Waiver) -> Result<(), String> {
         ));
     }
     if waivers.iter().any(|p| p.rule == w.rule && p.path == w.path) {
-        return Err(format!(
-            "lint.toml:{}: duplicate waiver for ({}, {})",
-            w.line, w.rule, w.path
-        ));
+        return Err(format!("lint.toml:{}: duplicate waiver for ({}, {})", w.line, w.rule, w.path));
     }
     waivers.push(w);
     Ok(())
@@ -143,8 +140,8 @@ mod tests {
 
     #[test]
     fn rejects_unknown_rules_and_keys() {
-        let err = parse("[[allow]]\nrule = \"no-such\"\npath = \"a\"\nreason = \"r\"\n")
-            .unwrap_err();
+        let err =
+            parse("[[allow]]\nrule = \"no-such\"\npath = \"a\"\nreason = \"r\"\n").unwrap_err();
         assert!(err.contains("unknown rule"), "{err}");
         let err = parse("[[allow]]\nrule = \"float-eq\"\nfile = \"a\"\n").unwrap_err();
         assert!(err.contains("unknown key"), "{err}");

@@ -116,17 +116,18 @@ pub fn tokenize(source: &str) -> Vec<Token> {
             continue;
         }
         // Raw identifiers r#foo (after raw strings so r#"..." wins).
-        if c == b'r' && i + 1 < b.len() && b[i + 1] == b'#' && i + 2 < b.len() && is_ident_start(b[i + 2]) {
+        if c == b'r'
+            && i + 1 < b.len()
+            && b[i + 1] == b'#'
+            && i + 2 < b.len()
+            && is_ident_start(b[i + 2])
+        {
             let start = i + 2;
             let mut j = start;
             while j < b.len() && is_ident_continue(b[j]) {
                 j += 1;
             }
-            tokens.push(Token {
-                kind: TokenKind::Ident,
-                text: source[start..j].to_string(),
-                line,
-            });
+            tokens.push(Token { kind: TokenKind::Ident, text: source[start..j].to_string(), line });
             i = j;
             continue;
         }
@@ -152,18 +153,18 @@ pub fn tokenize(source: &str) -> Vec<Token> {
             while i < b.len() && is_ident_continue(b[i]) {
                 i += 1;
             }
-            tokens.push(Token {
-                kind: TokenKind::Ident,
-                text: source[start..i].to_string(),
-                line,
-            });
+            tokens.push(Token { kind: TokenKind::Ident, text: source[start..i].to_string(), line });
             continue;
         }
         // Numbers.
         if c.is_ascii_digit() {
             let (len, is_float) = scan_number(&b[i..]);
             tokens.push(Token {
-                kind: if is_float { TokenKind::Float } else { TokenKind::Int },
+                kind: if is_float {
+                    TokenKind::Float
+                } else {
+                    TokenKind::Int
+                },
                 text: source[i..i + len].to_string(),
                 line,
             });
@@ -177,11 +178,7 @@ pub fn tokenize(source: &str) -> Vec<Token> {
             i += p.len();
             continue;
         }
-        tokens.push(Token {
-            kind: TokenKind::Punct,
-            text: (c as char).to_string(),
-            line,
-        });
+        tokens.push(Token { kind: TokenKind::Punct, text: (c as char).to_string(), line });
         i += 1;
     }
     tokens

@@ -63,8 +63,8 @@ impl LintReport {
 pub fn run_lint(root: &Path) -> Result<LintReport, String> {
     let config_path = root.join("lint.toml");
     let config: LintConfig = if config_path.is_file() {
-        let text = std::fs::read_to_string(&config_path)
-            .map_err(|e| format!("reading lint.toml: {e}"))?;
+        let text =
+            std::fs::read_to_string(&config_path).map_err(|e| format!("reading lint.toml: {e}"))?;
         config::parse(&text)?
     } else {
         LintConfig::default()
@@ -82,8 +82,8 @@ pub fn run_lint(root: &Path) -> Result<LintReport, String> {
     let mut violations = Vec::new();
     let mut used = vec![false; config.waivers.len()];
     for rel in &files {
-        let source = std::fs::read_to_string(root.join(rel))
-            .map_err(|e| format!("reading {rel}: {e}"))?;
+        let source =
+            std::fs::read_to_string(root.join(rel)).map_err(|e| format!("reading {rel}: {e}"))?;
         let tokens = lexer::tokenize(&source);
         for v in rules::check_file(rel, &tokens, rules::classify(rel)) {
             match config

@@ -22,7 +22,13 @@
 use crate::lexer::{Token, TokenKind};
 
 /// Stable identifiers of every rule, as used in `lint.toml` waivers.
-pub const RULE_NAMES: &[&str] = &["float-eq", "env-var", "hash-iter", "forbid-unsafe", "entropy"];
+pub const RULE_NAMES: &[&str] = &[
+    "float-eq",
+    "env-var",
+    "hash-iter",
+    "forbid-unsafe",
+    "entropy",
+];
 
 /// One finding: rule, location, human-readable detail.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -58,8 +64,8 @@ pub fn classify(rel: &str) -> FileRole {
     let is_kernel = rel.starts_with("crates/gossip/src/")
         || rel.starts_with("crates/core/src/")
         || rel == "crates/service/src/epoch.rs";
-    let is_crate_root = rel == "src/lib.rs"
-        || (rel.starts_with("crates/") && rel.ends_with("/src/lib.rs"));
+    let is_crate_root =
+        rel == "src/lib.rs" || (rel.starts_with("crates/") && rel.ends_with("/src/lib.rs"));
     FileRole { is_test_file, is_kernel, is_crate_root }
 }
 
@@ -90,17 +96,14 @@ fn test_spans(tokens: &[Token]) -> Vec<bool> {
     let mut mask = vec![false; tokens.len()];
     let mut i = 0usize;
     while i < tokens.len() {
-        if tokens[i].is_punct("#")
-            && i + 1 < tokens.len()
-            && tokens[i + 1].is_punct("[")
-        {
+        if tokens[i].is_punct("#") && i + 1 < tokens.len() && tokens[i + 1].is_punct("[") {
             // Scan the attribute body for `cfg` … `test`.
             let Some(close) = matching(tokens, i + 1, "[", "]") else {
                 break;
             };
             let body = &tokens[i + 2..close];
-            let mentions_cfg_test = body.iter().any(|t| t.is_ident("cfg"))
-                && body.iter().any(|t| t.is_ident("test"));
+            let mentions_cfg_test =
+                body.iter().any(|t| t.is_ident("cfg")) && body.iter().any(|t| t.is_ident("test"));
             let mut j = close + 1;
             if mentions_cfg_test {
                 // Skip any further attributes between the cfg and the item.
@@ -448,8 +451,9 @@ mod tests {
     fn float_eq_skips_cfg_test_modules_and_test_files() {
         let src = "#[cfg(test)] mod tests { fn f(x: f64) -> bool { x == 1.0 } }";
         assert!(run(PLAIN, src).is_empty());
-        assert!(run("crates/workloads/tests/props.rs", "fn f(x: f64) -> bool { x == 1.0 }")
-            .is_empty());
+        assert!(
+            run("crates/workloads/tests/props.rs", "fn f(x: f64) -> bool { x == 1.0 }").is_empty()
+        );
         // …but code *before* the test module is still checked.
         let src = "fn g(x: f64) -> bool { x == 2.0 } #[cfg(test)] mod tests {}";
         assert_eq!(run(PLAIN, src).len(), 1);

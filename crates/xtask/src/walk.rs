@@ -78,7 +78,13 @@ mod tests {
     #[test]
     fn walks_crate_trees_and_skips_target() {
         let root = scratch("walk");
-        for d in ["crates/a/src", "crates/a/tests", "src", "target/debug", "crates/b/src/deep"] {
+        for d in [
+            "crates/a/src",
+            "crates/a/tests",
+            "src",
+            "target/debug",
+            "crates/b/src/deep",
+        ] {
             fs::create_dir_all(root.join(d)).unwrap();
         }
         fs::write(root.join("Cargo.toml"), "[workspace]").unwrap();

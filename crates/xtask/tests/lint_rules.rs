@@ -9,8 +9,7 @@ use std::path::PathBuf;
 
 /// Build a minimal fake workspace with one violation per rule.
 fn seeded_workspace() -> PathBuf {
-    let root =
-        std::env::temp_dir().join(format!("gt_lint_seeded_{}", std::process::id()));
+    let root = std::env::temp_dir().join(format!("gt_lint_seeded_{}", std::process::id()));
     let _ = fs::remove_dir_all(&root);
     for dir in ["crates/gossip/src", "crates/app/src", "src"] {
         fs::create_dir_all(root.join(dir)).unwrap();
@@ -44,7 +43,13 @@ fn every_rule_class_catches_its_seeded_violation() {
     let root = seeded_workspace();
     let report = run_lint(&root).unwrap();
     let rules_hit: Vec<&str> = report.violations.iter().map(|v| v.rule).collect();
-    for rule in ["float-eq", "env-var", "hash-iter", "forbid-unsafe", "entropy"] {
+    for rule in [
+        "float-eq",
+        "env-var",
+        "hash-iter",
+        "forbid-unsafe",
+        "entropy",
+    ] {
         assert!(rules_hit.contains(&rule), "rule {rule} not caught; hit = {rules_hit:?}");
     }
     // And each violation points at the right file.

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Perf smoke: a quick-mode run of the bench_summary binary — the same
+# `n × threads` sweep the full benchmark distills, at reduced sizes so it
+# finishes in seconds on a shared runner. Produces BENCH_engine.json and
+# BENCH_service.json in the repo root (marked "quick": true, with the
+# machine's core count), including the per-n speedup sweep and the
+# baseline_delta against the committed BENCH_engine.json.
+#
+#   scripts/perf_smoke.sh           # quick mode (default here)
+#   GT_TILE=256 scripts/perf_smoke.sh
+#
+# This script is advisory: CI runs it non-blocking (shared runners are
+# far too noisy to gate on wall time) and uploads the two JSONs as an
+# artifact so the perf trajectory stays inspectable per commit. The
+# committed BENCH_engine.json is regenerated on a quiet machine with the
+# full (non-quick) run: `cargo run --release -p gossiptrust-bench --bin
+# bench_summary`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GT_BENCH_QUICK=1 cargo run --release -p gossiptrust-bench --bin bench_summary
