@@ -221,7 +221,11 @@ fn main() {
 
 /// Sibling record: queries/sec and tail latency of the reputation service
 /// under a Zipf query mix, with epochs interleaved. Same `cores` field as
-/// the engine record so the two stay comparable machine-to-machine.
+/// the engine record so the two stay comparable machine-to-machine. The
+/// document also carries the robustness counters (`requests_shed`,
+/// `retries`, `gave_up`, `conns_timed_out`, `conns_rejected`,
+/// `epochs_panicked`, `epochs_overrun`, `wal_replayed_records`) so a soak
+/// or drill run leaves an auditable record of what was shed vs served.
 fn service_summary(quick: bool, cores: usize) {
     use gossiptrust_core::id::NodeId as Id;
     use gossiptrust_serve::loadgen::{report_json, run, LoadConfig};

@@ -23,6 +23,24 @@ pub fn strict_positive_env(name: &str) -> Option<u64> {
     }
 }
 
+/// Strictly parse a non-negative-integer environment knob (zero allowed).
+///
+/// Same contract as [`strict_positive_env`] except that `0` is a valid
+/// value — seeds and counters legitimately include zero. Returns `None`
+/// when `name` is unset or empty and **panics** on anything that is not a
+/// `u64`.
+pub fn strict_u64_env(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return None;
+    }
+    match trimmed.parse::<u64>() {
+        Ok(v) => Some(v),
+        Err(_) => panic!("{name} must be a non-negative integer, got {raw:?}"),
+    }
+}
+
 /// Strictly parse a boolean environment knob.
 ///
 /// Returns `None` when `name` is unset or empty, `Some(true)` for
@@ -104,6 +122,82 @@ pub fn service_addr() -> String {
         }
         _ => "127.0.0.1:7401".to_string(),
     }
+}
+
+/// `GT_CONN_LIMIT`: maximum concurrent TCP connections the service
+/// front-end accepts (default 1024). Connections past the limit are shed
+/// with a retriable error line instead of queueing unboundedly.
+///
+/// # Panics
+/// Panics when `GT_CONN_LIMIT` is set to something other than a positive
+/// integer (see [`strict_positive_env`]).
+pub fn conn_limit() -> usize {
+    strict_positive_env("GT_CONN_LIMIT")
+        .map(|v| v as usize)
+        .unwrap_or(1024)
+}
+
+/// `GT_READ_TIMEOUT_MS`: per-request-line read/idle deadline of the TCP
+/// front-end, in milliseconds (default 30 000). A connection that does not
+/// complete a request line within the deadline (slow-loris) is closed and
+/// counted in `conns_timed_out`.
+///
+/// # Panics
+/// Panics when `GT_READ_TIMEOUT_MS` is set to something other than a
+/// positive integer (see [`strict_positive_env`]).
+pub fn read_timeout_ms() -> u64 {
+    strict_positive_env("GT_READ_TIMEOUT_MS").unwrap_or(30_000)
+}
+
+/// `GT_EPOCH_DEADLINE_MS`: wall-clock budget of one epoch
+/// (fold + aggregate + snapshot build), in milliseconds (default 30 000).
+/// An epoch that overruns the budget is abandoned — its result is
+/// discarded, the previous snapshot keeps serving and `epochs_overrun`
+/// increments.
+///
+/// # Panics
+/// Panics when `GT_EPOCH_DEADLINE_MS` is set to something other than a
+/// positive integer (see [`strict_positive_env`]).
+pub fn epoch_deadline_ms() -> u64 {
+    strict_positive_env("GT_EPOCH_DEADLINE_MS").unwrap_or(30_000)
+}
+
+/// `GT_INGEST_QUEUE`: maximum unfolded feedback events the service buffers
+/// before load-shedding ingest with a retriable `overloaded` error
+/// (default 65 536). The bound is what keeps a write burst from growing
+/// memory without limit between epochs.
+///
+/// # Panics
+/// Panics when `GT_INGEST_QUEUE` is set to something other than a positive
+/// integer (see [`strict_positive_env`]).
+pub fn ingest_queue() -> usize {
+    strict_positive_env("GT_INGEST_QUEUE")
+        .map(|v| v as usize)
+        .unwrap_or(65_536)
+}
+
+/// `GT_WAL_DIR`: directory of the feedback write-ahead log (default:
+/// unset = WAL off). When set, every acknowledged feedback event is
+/// appended to a CRC-framed log before it is applied, and a restarting
+/// service replays the log so a crashed node rejoins with its local-trust
+/// rows intact.
+pub fn wal_dir() -> Option<std::path::PathBuf> {
+    match std::env::var("GT_WAL_DIR") {
+        Ok(raw) if !raw.trim().is_empty() => Some(std::path::PathBuf::from(raw.trim())),
+        _ => None,
+    }
+}
+
+/// `GT_CHAOS_SEED`: arm the deterministic fault-injection layer with this
+/// RNG seed (default: unset = chaos off). All chaos randomness flows from
+/// this one seed — no ambient entropy — so a fault schedule can be
+/// replayed exactly.
+///
+/// # Panics
+/// Panics when `GT_CHAOS_SEED` is set to something other than a
+/// non-negative integer (see [`strict_u64_env`]).
+pub fn chaos_seed() -> Option<u64> {
+    strict_u64_env("GT_CHAOS_SEED")
 }
 
 /// GossipTrust system parameters.
@@ -388,6 +482,48 @@ mod tests {
         // parse path shares its shape with strict_bool_env above.
         if std::env::var("GT_SERVICE_ADDR").is_err() {
             assert_eq!(service_addr(), "127.0.0.1:7401");
+        }
+    }
+
+    #[test]
+    fn strict_u64_env_accepts_zero() {
+        std::env::set_var("GT_TEST_U64_ZERO", "0");
+        assert_eq!(strict_u64_env("GT_TEST_U64_ZERO"), Some(0));
+        std::env::set_var("GT_TEST_U64_BIG", "18446744073709551615");
+        assert_eq!(strict_u64_env("GT_TEST_U64_BIG"), Some(u64::MAX));
+        assert_eq!(strict_u64_env("GT_TEST_U64_UNSET"), None);
+        std::env::set_var("GT_TEST_U64_EMPTY", " ");
+        assert_eq!(strict_u64_env("GT_TEST_U64_EMPTY"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "GT_TEST_U64_BAD must be a non-negative integer")]
+    fn strict_u64_env_panics_on_garbage() {
+        std::env::set_var("GT_TEST_U64_BAD", "-7");
+        strict_u64_env("GT_TEST_U64_BAD");
+    }
+
+    #[test]
+    fn robustness_knobs_have_documented_defaults() {
+        // These knobs are unset in the test environment (tier-1 does not
+        // export them), so the documented defaults must come back.
+        if std::env::var("GT_CONN_LIMIT").is_err() {
+            assert_eq!(conn_limit(), 1024);
+        }
+        if std::env::var("GT_READ_TIMEOUT_MS").is_err() {
+            assert_eq!(read_timeout_ms(), 30_000);
+        }
+        if std::env::var("GT_EPOCH_DEADLINE_MS").is_err() {
+            assert_eq!(epoch_deadline_ms(), 30_000);
+        }
+        if std::env::var("GT_INGEST_QUEUE").is_err() {
+            assert_eq!(ingest_queue(), 65_536);
+        }
+        if std::env::var("GT_WAL_DIR").is_err() {
+            assert_eq!(wal_dir(), None);
+        }
+        if std::env::var("GT_CHAOS_SEED").is_err() {
+            assert_eq!(chaos_seed(), None);
         }
     }
 

@@ -59,14 +59,17 @@ fn main() {
     };
     let report = run(&handle, &config);
     println!(
-        "n={n}  {} queries ({} writes, {} epochs)  {:.0} q/s  p50 = {:.1} µs  p99 = {:.1} µs  epoch = {:.1} ms",
+        "n={n}  {} queries ({} writes, {} epochs)  {:.0} q/s  p50 = {:.1} µs  p99 = {:.1} µs  epoch = {:.1} ms  ({} retries, {} gave up, {} shed)",
         report.queries,
         report.writes,
         report.epochs,
         report.queries_per_sec,
         report.p50_us,
         report.p99_us,
-        report.epoch_wall_ms
+        report.epoch_wall_ms,
+        report.retries,
+        report.gave_up,
+        report.stats.requests_shed
     );
 
     let mut json = report_json(&report, n, cores, quick);

@@ -1,0 +1,375 @@
+//! Deterministic, seed-driven fault injection for the service paths.
+//!
+//! The paper sells GossipTrust on fault tolerance — aggregation that keeps
+//! converging under churn, message loss and disturbance (§6.1, Fig. 4) —
+//! but `simnet` only *simulates* those faults. This module injects them
+//! against the **real** service: the TCP front-end's response frames
+//! (dropped / delayed / duplicated / truncated), adversarial client
+//! behavior (stalled slow-loris connections, oversize lines) and the epoch
+//! thread (injected panics, simulated fold/aggregate overruns).
+//!
+//! Every decision flows from one seeded RNG ([`ChaosConfig::seed`], wired
+//! through `core::params::chaos_seed` / `GT_CHAOS_SEED`) — no ambient
+//! entropy, per gt-lint rule `entropy` — so a fault schedule is a pure
+//! function of `(seed, decision sequence)` and a chaos soak can be
+//! replayed exactly. The injector also *counts* every fault it deals
+//! ([`ChaosReport`]), which is what lets the soak assert that the
+//! service's degradation counters match the injected fault counts instead
+//! of merely "some faults happened".
+//!
+//! The injector is deliberately dumb: it decides, callers act. That keeps
+//! the blast radius auditable — grep for `frame_fault` / `epoch_fault` /
+//! `client_fault` and you have the complete list of places chaos can bite.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Fault mix of one chaos run. Rates are per-mille (0..=1000) so the knob
+/// is integer-exact and the config carries no floats to mis-compare.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Seed of the injector's RNG (thread through
+    /// `core::params::chaos_seed`, never ambient entropy).
+    pub seed: u64,
+    /// Response frames dropped outright (‰).
+    pub drop_per_mille: u32,
+    /// Response frames delayed by [`ChaosConfig::delay_ms`] (‰).
+    pub delay_per_mille: u32,
+    /// Delay applied to delayed frames, in milliseconds.
+    pub delay_ms: u64,
+    /// Response frames written twice (‰).
+    pub duplicate_per_mille: u32,
+    /// Response frames cut mid-line, connection closed (‰).
+    pub truncate_per_mille: u32,
+    /// Client connections that stall without completing a line (‰).
+    pub stall_per_mille: u32,
+    /// Client requests inflated past the server's line cap (‰).
+    pub oversize_per_mille: u32,
+    /// Epochs that panic on the epoch thread (‰).
+    pub epoch_panic_per_mille: u32,
+    /// Epochs that sleep [`ChaosConfig::overrun_ms`] to overrun the epoch
+    /// deadline (‰).
+    pub epoch_overrun_per_mille: u32,
+    /// Sleep injected into overrunning epochs, in milliseconds.
+    pub overrun_ms: u64,
+}
+
+impl ChaosConfig {
+    /// All faults off (the injector still counts decisions).
+    pub fn disabled(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            drop_per_mille: 0,
+            delay_per_mille: 0,
+            delay_ms: 0,
+            duplicate_per_mille: 0,
+            truncate_per_mille: 0,
+            stall_per_mille: 0,
+            oversize_per_mille: 0,
+            epoch_panic_per_mille: 0,
+            epoch_overrun_per_mille: 0,
+            overrun_ms: 0,
+        }
+    }
+
+    /// The full soak matrix: loss × delay × duplication × truncation ×
+    /// stalls × oversize lines × epoch panics × epoch overruns, at rates
+    /// high enough that a few hundred decisions exercise every arm.
+    pub fn soak(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            drop_per_mille: 100,
+            delay_per_mille: 100,
+            delay_ms: 20,
+            duplicate_per_mille: 60,
+            truncate_per_mille: 60,
+            stall_per_mille: 60,
+            oversize_per_mille: 40,
+            epoch_panic_per_mille: 250,
+            epoch_overrun_per_mille: 250,
+            overrun_ms: 50,
+        }
+    }
+
+    /// Domain check: each decision's rates must fit in one per-mille roll.
+    pub fn validate(&self) -> Result<(), String> {
+        let frame = self.drop_per_mille
+            + self.delay_per_mille
+            + self.duplicate_per_mille
+            + self.truncate_per_mille;
+        if frame > 1000 {
+            return Err(format!("frame fault rates sum to {frame}‰ (> 1000)"));
+        }
+        let client = self.stall_per_mille + self.oversize_per_mille;
+        if client > 1000 {
+            return Err(format!("client fault rates sum to {client}‰ (> 1000)"));
+        }
+        let epoch = self.epoch_panic_per_mille + self.epoch_overrun_per_mille;
+        if epoch > 1000 {
+            return Err(format!("epoch fault rates sum to {epoch}‰ (> 1000)"));
+        }
+        Ok(())
+    }
+}
+
+/// What to do with one response frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameFault {
+    /// Write it normally.
+    Deliver,
+    /// Do not write it at all (the client sees silence and must retry).
+    Drop,
+    /// Sleep, then write it.
+    Delay(Duration),
+    /// Write it twice (a retransmit-style duplicate).
+    Duplicate,
+    /// Write only a prefix, then sever the connection.
+    Truncate,
+}
+
+/// How the (soak-driven) client behaves on one connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClientFault {
+    /// Speak the protocol honestly.
+    Honest,
+    /// Open the connection, send a partial line, and go silent
+    /// (slow-loris) — the server's read deadline must reap it.
+    Stall,
+    /// Send a newline-free line past the server's cap — the line cap must
+    /// reject it without buffering unboundedly.
+    OversizeLine,
+}
+
+/// What to do to one epoch on the epoch thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EpochFault {
+    /// Panic mid-epoch (the watchdog's `catch_unwind` must contain it).
+    Panic,
+    /// Sleep this long inside the epoch body, simulating a fold/aggregate
+    /// overrun (the deadline watchdog must abandon the result).
+    Overrun(Duration),
+}
+
+/// Monotonic counts of every fault dealt, by kind.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaosReport {
+    /// Response frames dropped.
+    pub frames_dropped: u64,
+    /// Response frames delayed.
+    pub frames_delayed: u64,
+    /// Response frames duplicated.
+    pub frames_duplicated: u64,
+    /// Response frames truncated.
+    pub frames_truncated: u64,
+    /// Client connections told to stall.
+    pub client_stalls: u64,
+    /// Client requests told to oversize.
+    pub client_oversize: u64,
+    /// Epochs told to panic.
+    pub epochs_panicked: u64,
+    /// Epochs told to overrun.
+    pub epochs_overrun: u64,
+}
+
+#[derive(Debug, Default)]
+struct ChaosCounters {
+    frames_dropped: AtomicU64,
+    frames_delayed: AtomicU64,
+    frames_duplicated: AtomicU64,
+    frames_truncated: AtomicU64,
+    client_stalls: AtomicU64,
+    client_oversize: AtomicU64,
+    epochs_panicked: AtomicU64,
+    epochs_overrun: AtomicU64,
+}
+
+/// The seeded fault dealer. `Send + Sync`: the RNG sits behind a mutex
+/// (decisions are rare and cheap next to the I/O they perturb), the
+/// counters are atomics.
+#[derive(Debug)]
+pub struct ChaosInjector {
+    config: ChaosConfig,
+    rng: Mutex<StdRng>,
+    counters: ChaosCounters,
+}
+
+impl ChaosInjector {
+    /// Build an injector for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config` fails [`ChaosConfig::validate`] — an
+    /// over-1000‰ fault mix is a harness bug, not a runtime condition.
+    pub fn new(config: ChaosConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid chaos config: {e}");
+        }
+        let rng = Mutex::new(StdRng::seed_from_u64(config.seed));
+        ChaosInjector { config, rng, counters: ChaosCounters::default() }
+    }
+
+    /// The configuration this injector deals from.
+    pub fn config(&self) -> &ChaosConfig {
+        &self.config
+    }
+
+    /// One per-mille roll off the seeded stream.
+    fn roll(&self) -> u32 {
+        self.rng.lock().expect("chaos rng poisoned").random_range(0..1000)
+    }
+
+    /// Decide the fate of one response frame.
+    pub fn frame_fault(&self) -> FrameFault {
+        let c = &self.config;
+        let roll = self.roll();
+        let mut edge = c.drop_per_mille;
+        if roll < edge {
+            self.counters.frames_dropped.fetch_add(1, Ordering::Relaxed);
+            return FrameFault::Drop;
+        }
+        edge += c.delay_per_mille;
+        if roll < edge {
+            self.counters.frames_delayed.fetch_add(1, Ordering::Relaxed);
+            return FrameFault::Delay(Duration::from_millis(c.delay_ms));
+        }
+        edge += c.duplicate_per_mille;
+        if roll < edge {
+            self.counters.frames_duplicated.fetch_add(1, Ordering::Relaxed);
+            return FrameFault::Duplicate;
+        }
+        edge += c.truncate_per_mille;
+        if roll < edge {
+            self.counters.frames_truncated.fetch_add(1, Ordering::Relaxed);
+            return FrameFault::Truncate;
+        }
+        FrameFault::Deliver
+    }
+
+    /// Decide how the soak client behaves on one connection.
+    pub fn client_fault(&self) -> ClientFault {
+        let c = &self.config;
+        let roll = self.roll();
+        let mut edge = c.stall_per_mille;
+        if roll < edge {
+            self.counters.client_stalls.fetch_add(1, Ordering::Relaxed);
+            return ClientFault::Stall;
+        }
+        edge += c.oversize_per_mille;
+        if roll < edge {
+            self.counters.client_oversize.fetch_add(1, Ordering::Relaxed);
+            return ClientFault::OversizeLine;
+        }
+        ClientFault::Honest
+    }
+
+    /// Decide the fate of one epoch (`None` = run it honestly).
+    pub fn epoch_fault(&self) -> Option<EpochFault> {
+        let c = &self.config;
+        let roll = self.roll();
+        let mut edge = c.epoch_panic_per_mille;
+        if roll < edge {
+            self.counters.epochs_panicked.fetch_add(1, Ordering::Relaxed);
+            return Some(EpochFault::Panic);
+        }
+        edge += c.epoch_overrun_per_mille;
+        if roll < edge {
+            self.counters.epochs_overrun.fetch_add(1, Ordering::Relaxed);
+            return Some(EpochFault::Overrun(Duration::from_millis(c.overrun_ms)));
+        }
+        None
+    }
+
+    /// Snapshot of every fault dealt so far.
+    pub fn report(&self) -> ChaosReport {
+        let c = &self.counters;
+        ChaosReport {
+            frames_dropped: c.frames_dropped.load(Ordering::Relaxed),
+            frames_delayed: c.frames_delayed.load(Ordering::Relaxed),
+            frames_duplicated: c.frames_duplicated.load(Ordering::Relaxed),
+            frames_truncated: c.frames_truncated.load(Ordering::Relaxed),
+            client_stalls: c.client_stalls.load(Ordering::Relaxed),
+            client_oversize: c.client_oversize.load(Ordering::Relaxed),
+            epochs_panicked: c.epochs_panicked.load(Ordering::Relaxed),
+            epochs_overrun: c.epochs_overrun.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_fault_schedule() {
+        let a = ChaosInjector::new(ChaosConfig::soak(42));
+        let b = ChaosInjector::new(ChaosConfig::soak(42));
+        let seq_a: Vec<FrameFault> = (0..200).map(|_| a.frame_fault()).collect();
+        let seq_b: Vec<FrameFault> = (0..200).map(|_| b.frame_fault()).collect();
+        assert_eq!(seq_a, seq_b, "chaos is a pure function of the seed");
+        assert_eq!(a.report(), b.report());
+        // A different seed deals a different schedule.
+        let c = ChaosInjector::new(ChaosConfig::soak(43));
+        let seq_c: Vec<FrameFault> = (0..200).map(|_| c.frame_fault()).collect();
+        assert_ne!(seq_a, seq_c, "distinct seeds must not alias");
+    }
+
+    #[test]
+    fn counters_match_dealt_faults_exactly() {
+        let chaos = ChaosInjector::new(ChaosConfig::soak(7));
+        let mut dealt = ChaosReport::default();
+        for _ in 0..500 {
+            match chaos.frame_fault() {
+                FrameFault::Drop => dealt.frames_dropped += 1,
+                FrameFault::Delay(_) => dealt.frames_delayed += 1,
+                FrameFault::Duplicate => dealt.frames_duplicated += 1,
+                FrameFault::Truncate => dealt.frames_truncated += 1,
+                FrameFault::Deliver => {}
+            }
+        }
+        for _ in 0..200 {
+            match chaos.epoch_fault() {
+                Some(EpochFault::Panic) => dealt.epochs_panicked += 1,
+                Some(EpochFault::Overrun(_)) => dealt.epochs_overrun += 1,
+                None => {}
+            }
+        }
+        for _ in 0..200 {
+            match chaos.client_fault() {
+                ClientFault::Stall => dealt.client_stalls += 1,
+                ClientFault::OversizeLine => dealt.client_oversize += 1,
+                ClientFault::Honest => {}
+            }
+        }
+        assert_eq!(chaos.report(), dealt);
+        // The soak rates are high enough that every arm actually fired.
+        assert!(dealt.frames_dropped > 0);
+        assert!(dealt.frames_delayed > 0);
+        assert!(dealt.frames_duplicated > 0);
+        assert!(dealt.frames_truncated > 0);
+        assert!(dealt.client_stalls > 0);
+        assert!(dealt.epochs_panicked > 0);
+        assert!(dealt.epochs_overrun > 0);
+    }
+
+    #[test]
+    fn disabled_config_never_faults() {
+        let chaos = ChaosInjector::new(ChaosConfig::disabled(1));
+        for _ in 0..100 {
+            assert_eq!(chaos.frame_fault(), FrameFault::Deliver);
+            assert_eq!(chaos.client_fault(), ClientFault::Honest);
+            assert_eq!(chaos.epoch_fault(), None);
+        }
+        assert_eq!(chaos.report(), ChaosReport::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid chaos config")]
+    fn over_unity_frame_rates_are_rejected() {
+        let config =
+            ChaosConfig { drop_per_mille: 600, delay_per_mille: 600, ..ChaosConfig::disabled(0) };
+        ChaosInjector::new(config);
+    }
+}

@@ -22,6 +22,7 @@
 //! reputation service should keep answering with slightly stale, known-good
 //! scores rather than serve a half-converged vector.
 
+use crate::chaos::{ChaosInjector, EpochFault};
 use crate::log::FeedbackLog;
 use crate::snapshot::{ScoreSnapshot, SnapshotCell};
 use crate::stats::ServiceStats;
@@ -58,6 +59,12 @@ pub struct EpochOutcome {
     pub gossip: GossipStats,
     /// Wall-clock milliseconds (fold + aggregate + snapshot build).
     pub wall_ms: f64,
+    /// Whether the epoch body panicked and was contained by the watchdog
+    /// (engine rebuilt, previous snapshot kept serving).
+    pub panicked: bool,
+    /// Whether the epoch completed but blew its deadline and was abandoned
+    /// (result discarded, previous snapshot kept serving).
+    pub overran: bool,
 }
 
 /// Control messages for the epoch loop thread.
@@ -75,6 +82,10 @@ pub struct EpochManager {
     stats: Arc<ServiceStats>,
     aggregator: GossipTrustAggregator,
     engine: VectorGossipEngine,
+    /// The engine's construction recipe, kept so the watchdog can rebuild
+    /// a fresh engine after containing a mid-epoch panic (the half-stepped
+    /// engine state is unknowable and must not leak into later epochs).
+    engine_config: EngineConfig,
     rank_config: RankStorageConfig,
     base_seed: u64,
     epoch: u64,
@@ -83,6 +94,10 @@ pub struct EpochManager {
     /// cannot converge — the failure-injection hook the degradation tests
     /// (and chaos drills) use.
     fail_epochs: Vec<u64>,
+    /// Abandon epochs that overrun this wall-clock budget (`None` = never).
+    deadline: Option<Duration>,
+    /// Seeded epoch-path fault injector (`None` = no injected faults).
+    chaos: Option<Arc<ChaosInjector>>,
 }
 
 impl EpochManager {
@@ -104,7 +119,8 @@ impl EpochManager {
         assert_eq!(params.n, n, "params.n must match the feedback log");
         let engine_config = EngineConfig::from_params(&params, n);
         let engine = VectorGossipEngine::new(n, engine_config.clone());
-        let aggregator = GossipTrustAggregator::new(params).with_engine_config(engine_config);
+        let aggregator =
+            GossipTrustAggregator::new(params).with_engine_config(engine_config.clone());
         // Versions continue from whatever snapshot is already live (the
         // bootstrap snapshot at service start).
         let version = cell.load().version;
@@ -114,12 +130,27 @@ impl EpochManager {
             stats,
             aggregator,
             engine,
+            engine_config,
             rank_config,
             base_seed,
             epoch: 0,
             version,
             fail_epochs,
+            deadline: None,
+            chaos: None,
         }
+    }
+
+    /// Builder-style setter: abandon epochs overrunning `deadline`.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Builder-style setter: inject epoch-path faults from `chaos`.
+    pub fn with_chaos(mut self, chaos: Arc<ChaosInjector>) -> Self {
+        self.chaos = Some(chaos);
+        self
     }
 
     /// The deterministic RNG seed of epoch `epoch` under `base_seed`.
@@ -128,47 +159,108 @@ impl EpochManager {
     }
 
     /// Run exactly one epoch: fold → aggregate → publish (or degrade).
+    ///
+    /// The whole fold + aggregate body runs under the watchdog: a panic is
+    /// contained (`catch_unwind`), counted, and answered by rebuilding the
+    /// engine; a completed body that overran the deadline is abandoned.
+    /// Either way the previous snapshot keeps serving — queries never
+    /// observe a missing or half-built snapshot.
     pub fn run_epoch(&mut self) -> EpochOutcome {
         self.epoch += 1;
         let epoch = self.epoch;
         self.stats.note_epoch_started();
         let t0 = Instant::now();
-
-        let matrix = Arc::new(self.log.fold());
-        let start = self.cell.load().vector.clone();
         let seed = Self::epoch_seed(self.base_seed, epoch);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let fault = self.chaos.as_ref().and_then(|c| c.epoch_fault());
 
-        let (report, delta) = if self.fail_epochs.contains(&epoch) {
-            // Injected failure: a throwaway aggregator whose gossip budget
-            // (2 steps) is below the engine's own min_steps floor, so no
-            // cycle can ever report convergence. The persistent engine and
-            // its counters are untouched.
-            let crippled_params = Params { max_cycles: 1, ..self.aggregator.params().clone() };
-            let crippled_config =
-                EngineConfig { max_steps: 2, threads: 1, ..self.engine.config().clone() };
-            let crippled =
-                GossipTrustAggregator::new(crippled_params).with_engine_config(crippled_config);
-            let report = crippled.aggregate_with(&matrix, &start, &UniformChooser, &mut rng);
-            let delta = report.total_stats();
-            (report, delta)
-        } else {
-            let before = self.engine.stats();
-            let report = self.aggregator.aggregate_with_engine(
-                &mut self.engine,
-                &matrix,
-                &start,
-                &UniformChooser,
-                &mut rng,
-            );
-            let delta = self.engine.stats().diff(&before);
-            (report, delta)
+        let body = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            match fault {
+                // Injected mid-epoch panic: the exact failure the watchdog
+                // exists to contain.
+                Some(EpochFault::Panic) => panic!("chaos: injected epoch panic"),
+                // Injected overrun: a fold/aggregate that takes far longer
+                // than budgeted (the deadline check below catches it).
+                Some(EpochFault::Overrun(pause)) => std::thread::sleep(pause),
+                None => {}
+            }
+
+            let matrix = Arc::new(self.log.fold());
+            let start = self.cell.load().vector.clone();
+            let mut rng = StdRng::seed_from_u64(seed);
+
+            let (report, delta) = if self.fail_epochs.contains(&epoch) {
+                // Injected failure: a throwaway aggregator whose gossip budget
+                // (2 steps) is below the engine's own min_steps floor, so no
+                // cycle can ever report convergence. The persistent engine and
+                // its counters are untouched.
+                let crippled_params = Params { max_cycles: 1, ..self.aggregator.params().clone() };
+                let crippled_config =
+                    EngineConfig { max_steps: 2, threads: 1, ..self.engine.config().clone() };
+                let crippled =
+                    GossipTrustAggregator::new(crippled_params).with_engine_config(crippled_config);
+                let report = crippled.aggregate_with(&matrix, &start, &UniformChooser, &mut rng);
+                let delta = report.total_stats();
+                (report, delta)
+            } else {
+                let before = self.engine.stats();
+                let report = self.aggregator.aggregate_with_engine(
+                    &mut self.engine,
+                    &matrix,
+                    &start,
+                    &UniformChooser,
+                    &mut rng,
+                );
+                let delta = self.engine.stats().diff(&before);
+                (report, delta)
+            };
+            (matrix, start, report, delta)
+        }));
+
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let (matrix, start, report, delta) = match body {
+            Ok(parts) => parts,
+            Err(_) => {
+                // The panic may have left the worker pool or vector buffers
+                // half-stepped; a fresh engine is the only state we can
+                // trust. The previous snapshot keeps serving.
+                self.engine = VectorGossipEngine::new(self.log.n(), self.engine_config.clone());
+                self.stats.note_epoch_panicked(wall_ms);
+                return EpochOutcome {
+                    epoch,
+                    published: false,
+                    live_version: self.version,
+                    cycles: 0,
+                    converged: false,
+                    gossip: GossipStats::default(),
+                    wall_ms,
+                    panicked: true,
+                    overran: false,
+                };
+            }
         };
+
+        if self.deadline.is_some_and(|d| t0.elapsed() > d) {
+            // The result arrived too late to be worth publishing: by now a
+            // fresher fold exists, and a service that blocks its epoch loop
+            // on stragglers falls permanently behind. Discard, keep serving
+            // the previous snapshot, absorb the burned gossip work.
+            self.stats.note_epoch_overrun(&delta, wall_ms);
+            return EpochOutcome {
+                epoch,
+                published: false,
+                live_version: self.version,
+                cycles: report.cycles,
+                converged: report.converged,
+                gossip: delta,
+                wall_ms,
+                panicked: false,
+                overran: true,
+            };
+        }
 
         let healthy = report.converged
             && report.per_cycle.iter().all(|c| c.gossip_converged)
             && report.vector.values().iter().all(|v| v.is_finite());
-        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
 
         if healthy {
             #[cfg(feature = "invariants")]
@@ -200,6 +292,8 @@ impl EpochManager {
             converged: report.converged,
             gossip: delta,
             wall_ms,
+            panicked: false,
+            overran: false,
         }
     }
 
@@ -393,6 +487,53 @@ mod tests {
         snap.vector = ReputationVector::from_weights((1..=24).map(|i| i as f64).collect()).unwrap();
         cell.publish(snap);
         mgr.verify_replay();
+    }
+
+    #[test]
+    fn watchdog_contains_injected_panics_and_recovers() {
+        use crate::chaos::{ChaosConfig, ChaosInjector};
+        let (log, cell, stats, mgr) = setup(24, vec![]);
+        let chaos = Arc::new(ChaosInjector::new(ChaosConfig {
+            epoch_panic_per_mille: 1000,
+            ..ChaosConfig::disabled(9)
+        }));
+        let mut mgr = mgr.with_chaos(Arc::clone(&chaos));
+        ring_feedback(&log, 24);
+        let before = cell.load();
+        let outcome = mgr.run_epoch();
+        assert!(outcome.panicked, "a certain-panic injector must trip the watchdog");
+        assert!(!outcome.published);
+        assert_eq!(cell.load().version, before.version, "previous snapshot stays live");
+        assert_eq!(stats.epochs_abandoned(), 1);
+        assert_eq!(chaos.report().epochs_panicked, 1);
+        // Disarm the chaos: the rebuilt engine must aggregate and publish.
+        mgr.chaos = None;
+        let recovered = mgr.run_epoch();
+        assert!(recovered.published, "rebuilt engine must recover");
+        assert!(!recovered.panicked);
+        assert_eq!(cell.load().version, before.version + 1);
+    }
+
+    #[test]
+    fn deadline_abandons_overrunning_epochs() {
+        use crate::chaos::{ChaosConfig, ChaosInjector};
+        let (log, cell, stats, mgr) = setup(24, vec![]);
+        let chaos = Arc::new(ChaosInjector::new(ChaosConfig {
+            epoch_overrun_per_mille: 1000,
+            overrun_ms: 30,
+            ..ChaosConfig::disabled(9)
+        }));
+        let mut mgr = mgr.with_deadline(Duration::from_millis(5)).with_chaos(chaos);
+        ring_feedback(&log, 24);
+        let outcome = mgr.run_epoch();
+        assert!(outcome.overran, "a 30ms stall under a 5ms deadline must be abandoned");
+        assert!(!outcome.published);
+        assert_eq!(cell.load().version, 0, "abandoned result must not publish");
+        assert_eq!(stats.epochs_abandoned(), 1);
+        // Disarm the chaos: the same manager publishes within the deadline.
+        mgr.chaos = None;
+        assert!(mgr.run_epoch().published);
+        assert_eq!(cell.load().version, 1);
     }
 
     #[test]

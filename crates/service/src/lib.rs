@@ -38,15 +38,30 @@
 //!   [`gossiptrust_gossip::engine::VectorGossipEngine`] and its persistent
 //!   worker pool across epochs. A failed or non-converged epoch keeps the
 //!   previous snapshot live and increments a degradation counter.
-//! * [`service`] — the in-process [`service::ServiceHandle`] front-end.
+//! * [`service`] — the in-process [`service::ServiceHandle`] front-end,
+//!   with a bounded-backlog admission gate (`GT_INGEST_QUEUE`) that sheds
+//!   retriably instead of buffering without bound.
 //! * [`server`] — a tokio line-delimited-JSON TCP front-end in
 //!   `gossiptrust-net` style; bulk ingest reuses the binary
 //!   `gossiptrust-net` codec ([`gossiptrust_net::codec::FeedbackBatch`]).
+//!   Hardened with a connection-limit accept gate (`GT_CONN_LIMIT`) and a
+//!   per-line read deadline (`GT_READ_TIMEOUT_MS`) that reaps slow-loris
+//!   clients.
 //! * [`stats`] — the [`stats::ServiceStats`] counter block; per-epoch gossip
 //!   activity is derived with [`gossiptrust_gossip::stats::GossipStats::diff`]
 //!   on the persistent engine's monotonic counters.
+//! * [`wal`] — the CRC-framed crash-recovery write-ahead log
+//!   (`GT_WAL_DIR`): every acknowledged feedback event is durable before
+//!   the ack, and startup replays the longest valid prefix (tolerating a
+//!   torn tail from a mid-write crash).
+//! * [`chaos`] — the deterministic, seed-driven fault injector
+//!   (`GT_CHAOS_SEED`) behind the `chaos_soak` experiment: dropped /
+//!   delayed / duplicated / truncated response frames, stalled clients,
+//!   epoch panics and overruns — all from one seeded RNG, never ambient
+//!   entropy.
 //! * [`loadgen`] — a Zipf query-mix load generator (the `loadgen` bin)
-//!   writing `BENCH_service.json`.
+//!   writing `BENCH_service.json`; retries shed/overloaded requests with
+//!   decorrelated-jitter backoff under a per-request deadline budget.
 //!
 //! ## Concurrency contract
 //!
@@ -63,6 +78,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod epoch;
 pub mod json;
 pub mod loadgen;
@@ -71,7 +87,9 @@ pub mod server;
 pub mod service;
 pub mod snapshot;
 pub mod stats;
+pub mod wal;
 
+pub use chaos::{ChaosConfig, ChaosInjector, ChaosReport};
 pub use epoch::EpochOutcome;
 pub use log::{FeedbackEvent, FeedbackLog};
 pub use server::serve;
@@ -80,3 +98,4 @@ pub use service::{
 };
 pub use snapshot::{ScoreSnapshot, SnapshotCell};
 pub use stats::{ServiceStats, StatsReport};
+pub use wal::{Wal, WalReplay};

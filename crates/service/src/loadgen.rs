@@ -15,7 +15,7 @@ use gossiptrust_core::id::NodeId;
 use gossiptrust_workloads::Zipf;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Load-run configuration.
 #[derive(Clone, Debug)]
@@ -32,6 +32,14 @@ pub struct LoadConfig {
     pub epoch_every: usize,
     /// RNG seed for the query mix.
     pub seed: u64,
+    /// First retry backoff for shed writes (microseconds; decorrelated
+    /// jitter grows from here).
+    pub retry_base_us: u64,
+    /// Backoff ceiling (microseconds).
+    pub retry_cap_us: u64,
+    /// Total per-request deadline budget across all retries
+    /// (microseconds); exhausted budget gives the write up.
+    pub request_budget_us: u64,
 }
 
 impl Default for LoadConfig {
@@ -43,8 +51,19 @@ impl Default for LoadConfig {
             top_k: 10,
             epoch_every: 10_000,
             seed: 1,
+            retry_base_us: 50,
+            retry_cap_us: 5_000,
+            request_budget_us: 20_000,
         }
     }
+}
+
+/// Next decorrelated-jitter backoff: uniform in `base..=prev * 3`, capped.
+/// Decorrelated jitter (vs plain exponential) spreads retry instants so a
+/// shed burst does not come back as a synchronized thundering herd.
+fn next_backoff_us(rng: &mut StdRng, base: u64, cap: u64, prev: u64) -> u64 {
+    let hi = prev.saturating_mul(3).clamp(base, cap);
+    rng.random_range(base..=hi.max(base))
 }
 
 /// Results of one load run.
@@ -65,6 +84,10 @@ pub struct LoadReport {
     /// Mean epoch wall time as reported by the epoch loop (milliseconds);
     /// 0 when no epoch ran.
     pub epoch_wall_ms: f64,
+    /// Writes retried after a retriable shed (`ServeError::Overloaded`).
+    pub retries: usize,
+    /// Writes abandoned after the per-request deadline budget ran out.
+    pub gave_up: usize,
     /// Service counters at the end of the run.
     pub stats: StatsReport,
 }
@@ -79,6 +102,8 @@ pub fn run(handle: &ServiceHandle, config: &LoadConfig) -> LoadReport {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut latencies_us: Vec<f64> = Vec::with_capacity(config.queries);
     let mut writes = 0usize;
+    let mut retries = 0usize;
+    let mut gave_up = 0usize;
     let mut epochs = 0usize;
     let mut epoch_wall_ms_total = 0.0;
     let started = Instant::now();
@@ -99,7 +124,30 @@ pub fn run(handle: &ServiceHandle, config: &LoadConfig) -> LoadReport {
         let peer = handle.snapshot().ranking[rank];
         if rng.random::<f64>() < config.write_fraction {
             let target = NodeId::from_index(rng.random_range(0..n));
-            let _ = handle.record(peer, target, 1.0);
+            // Retriable sheds are retried with decorrelated-jitter backoff
+            // until the per-request budget runs out; anything else is
+            // final on the first answer.
+            let deadline = Instant::now() + Duration::from_micros(config.request_budget_us);
+            let mut backoff_us = config.retry_base_us;
+            loop {
+                match handle.record(peer, target, 1.0) {
+                    Err(e) if e.retriable() => {
+                        if Instant::now() + Duration::from_micros(backoff_us) >= deadline {
+                            gave_up += 1;
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_micros(backoff_us));
+                        backoff_us = next_backoff_us(
+                            &mut rng,
+                            config.retry_base_us,
+                            config.retry_cap_us,
+                            backoff_us,
+                        );
+                        retries += 1;
+                    }
+                    _ => break,
+                }
+            }
             writes += 1;
             continue;
         }
@@ -145,6 +193,8 @@ pub fn run(handle: &ServiceHandle, config: &LoadConfig) -> LoadReport {
         } else {
             0.0
         },
+        retries,
+        gave_up,
         stats: handle.stats_report(),
     }
 }
@@ -167,9 +217,17 @@ pub fn report_json(report: &LoadReport, n: usize, cores: usize, quick: bool) -> 
         .num("p50_us", report.p50_us)
         .num("p99_us", report.p99_us)
         .num("epoch_wall_ms", report.epoch_wall_ms)
+        .int("retries", report.retries as u64)
+        .int("gave_up", report.gave_up as u64)
         .int("epochs_published", report.stats.epochs_published)
         .int("epochs_degraded", report.stats.epochs_degraded)
+        .int("epochs_panicked", report.stats.epochs_panicked)
+        .int("epochs_overrun", report.stats.epochs_overrun)
         .int("queries_served", report.stats.queries_served)
+        .int("requests_shed", report.stats.requests_shed)
+        .int("conns_rejected", report.stats.conns_rejected)
+        .int("conns_timed_out", report.stats.conns_timed_out)
+        .int("wal_replayed_records", report.stats.wal_replayed_records)
         .finish()
 }
 
@@ -204,6 +262,31 @@ mod tests {
         let obj = json::parse_flat(&doc).expect("bench json parses");
         assert_eq!(json::get_num(&obj, "cores"), Some(4.0));
         assert_eq!(json::get_str(&obj, "bench"), Some("service_queries"));
+        assert_eq!(json::get_index(&obj, "retries"), Some(report.retries as u32));
+        assert_eq!(json::get_index(&obj, "requests_shed"), Some(0));
+        service.shutdown();
+    }
+
+    #[test]
+    fn shed_writes_are_retried_with_backoff_then_given_up() {
+        // A 2-event queue that is never folded (epoch_every = 0): the
+        // backlog fills after two writes and every later write sheds,
+        // retries under its budget, and finally gives up.
+        let service = ReputationService::start(ServiceConfig::new(12).with_ingest_queue(2));
+        let h = service.handle();
+        let config = LoadConfig {
+            queries: 40,
+            epoch_every: 0,
+            write_fraction: 0.5,
+            request_budget_us: 2_000,
+            ..LoadConfig::default()
+        };
+        let report = run(&h, &config);
+        assert!(report.writes > 2, "the mix must attempt more writes than the queue holds");
+        assert!(report.retries > 0, "shed writes must be retried");
+        assert!(report.gave_up > 0, "an undrained queue must exhaust retry budgets");
+        assert!(report.stats.requests_shed > 0, "the admission gate counts every shed");
+        assert_eq!(h.events_ingested(), 2, "only the admitted writes landed");
         service.shutdown();
     }
 }

@@ -43,6 +43,10 @@ pub struct FeedbackLog {
     shards: Vec<Mutex<Shard>>,
     /// Total events ever recorded (monotonic, for `ServiceStats`).
     events: AtomicU64,
+    /// Events that had been recorded when the most recent [`FeedbackLog::fold`]
+    /// started — the drained watermark of the ingest queue. `events -
+    /// folded_events` is the unfolded backlog the admission gate bounds.
+    folded_events: AtomicU64,
 }
 
 impl FeedbackLog {
@@ -63,7 +67,7 @@ impl FeedbackLog {
         let shards = (0..shards)
             .map(|s| Mutex::new(Shard { rows: vec![LocalTrust::new(); shard_rows(s)] }))
             .collect();
-        Self { n, shards, events: AtomicU64::new(0) }
+        Self { n, shards, events: AtomicU64::new(0), folded_events: AtomicU64::new(0) }
     }
 
     /// Number of peers the log covers.
@@ -79,6 +83,17 @@ impl FeedbackLog {
     /// Total events recorded since creation.
     pub fn events(&self) -> u64 {
         self.events.load(Ordering::Relaxed)
+    }
+
+    /// Events recorded since the most recent fold started — the unfolded
+    /// backlog the [`crate::service`] admission gate bounds. Conservative
+    /// under concurrency: events racing a fold may count as pending even
+    /// though the fold picked them up, which errs toward shedding early
+    /// rather than buffering past the bound.
+    pub fn pending_events(&self) -> u64 {
+        self.events
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.folded_events.load(Ordering::Relaxed))
     }
 
     /// Record one rating. Locks only the rater's shard.
@@ -128,6 +143,20 @@ impl FeedbackLog {
     /// [`TrustMatrix::from_rows`] completes to uniform (the standard
     /// stochastic-matrix completion).
     pub fn fold(&self) -> TrustMatrix {
+        // Capture the watermark before cloning any shard: events recorded
+        // while the clone sweep runs may or may not make this fold, so
+        // they conservatively stay "pending" until the next one.
+        let watermark = self.events.load(Ordering::Relaxed);
+        let rows = self.raw_rows();
+        self.folded_events.fetch_max(watermark, Ordering::Relaxed);
+        TrustMatrix::from_rows(&rows)
+    }
+
+    /// Clone out the raw (unnormalized) local-trust rows, shard lock by
+    /// shard lock. This is the audit surface the chaos soak uses to prove
+    /// no acknowledged feedback was lost: every acknowledged `(rater,
+    /// target, amount)` must be covered by the accumulated raw rows.
+    pub fn raw_rows(&self) -> Vec<LocalTrust> {
         let shards = self.shards.len();
         let mut rows = vec![LocalTrust::new(); self.n];
         for (s, shard) in self.shards.iter().enumerate() {
@@ -136,7 +165,7 @@ impl FeedbackLog {
                 rows[s + slot * shards] = row.clone();
             }
         }
-        TrustMatrix::from_rows(&rows)
+        rows
     }
 
     /// Seed the log from pre-existing rows (e.g. a generated workload), so
@@ -231,6 +260,29 @@ mod tests {
         recorded.record(FeedbackEvent { rater: NodeId(2), target: NodeId(4), score: 5.0 });
         recorded.record_batch(NodeId(5), &[(NodeId(0), 1.0), (NodeId(1), 1.0)]);
         assert_eq!(seeded.fold().to_dense(), recorded.fold().to_dense());
+    }
+
+    #[test]
+    fn pending_events_track_the_fold_watermark() {
+        let log = FeedbackLog::new(4, 2);
+        assert_eq!(log.pending_events(), 0);
+        log.record(FeedbackEvent { rater: NodeId(0), target: NodeId(1), score: 1.0 });
+        log.record(FeedbackEvent { rater: NodeId(1), target: NodeId(2), score: 1.0 });
+        assert_eq!(log.pending_events(), 2);
+        log.fold();
+        assert_eq!(log.pending_events(), 0, "a fold drains the backlog");
+        log.record(FeedbackEvent { rater: NodeId(2), target: NodeId(3), score: 1.0 });
+        assert_eq!(log.pending_events(), 1);
+    }
+
+    #[test]
+    fn raw_rows_expose_accumulated_amounts() {
+        let log = FeedbackLog::new(6, 4);
+        log.record(FeedbackEvent { rater: NodeId(2), target: NodeId(4), score: 5.0 });
+        log.record(FeedbackEvent { rater: NodeId(2), target: NodeId(4), score: 2.5 });
+        let rows = log.raw_rows();
+        assert!((rows[2].raw(NodeId(4)) - 7.5).abs() < 1e-12);
+        assert_eq!(rows[3].out_degree(), 0);
     }
 
     #[test]

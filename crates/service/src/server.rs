@@ -20,13 +20,28 @@
 //! binary [`FeedbackBatch`] codec frame from `gossiptrust-net`, hex-encoded
 //! into the `data` field, so the TCP front-end and any future binary
 //! transport share one wire format.
+//!
+//! ## Hardening
+//!
+//! The front-end assumes hostile or broken clients ([`ServerConfig`]):
+//! a concurrent-connection cap sheds further accepts with one retriable
+//! error line; a per-line read deadline reaps slow-loris connections that
+//! drip-feed or stall mid-line; the request-line byte cap refuses
+//! newline-free floods. Shed and reaped connections are counted in
+//! [`crate::stats::ServiceStats`]. A [`crate::chaos::ChaosInjector`] can be
+//! armed on the response path (chaos drills only) to drop, delay,
+//! duplicate, or truncate response frames deterministically.
 
+use crate::chaos::{ChaosInjector, FrameFault};
 use crate::json::{self, JsonObj};
 use crate::service::{ServeError, ServiceHandle};
 use gossiptrust_core::id::NodeId;
 use gossiptrust_net::codec::FeedbackBatch;
 use std::fmt::Write as _;
 use std::io;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 use tokio::io::{AsyncBufRead, AsyncBufReadExt, AsyncWriteExt, BufReader};
 use tokio::net::{TcpListener, TcpStream};
 
@@ -35,35 +50,169 @@ use tokio::net::{TcpListener, TcpStream};
 /// while still bounding a hostile newline-free stream.
 const MAX_LINE_BYTES: usize = 4 << 20;
 
-/// Bind `addr` and serve the query/ingest protocol forever.
+/// Front-end hardening knobs (see the README env table; the `serve` bin
+/// wires `GT_CONN_LIMIT` / `GT_READ_TIMEOUT_MS` in).
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Concurrent-connection cap; further accepts are answered with one
+    /// retriable error line and closed.
+    pub max_conns: usize,
+    /// Per-line read deadline. A connection that cannot produce a full
+    /// request line within this budget (a slow-loris drip-feed, a stalled
+    /// peer) is reaped — partial lines cannot pin a task forever.
+    pub read_timeout: Duration,
+    /// Longest accepted request line in bytes.
+    pub max_line_bytes: usize,
+    /// Response-path fault injection (dropped / delayed / duplicated /
+    /// truncated frames); `None` = deliver everything faithfully.
+    pub chaos: Option<Arc<ChaosInjector>>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_conns: 1024,
+            read_timeout: Duration::from_millis(30_000),
+            max_line_bytes: MAX_LINE_BYTES,
+            chaos: None,
+        }
+    }
+}
+
+/// Decrements the live-connection gauge when a connection task ends,
+/// however it ends (clean EOF, error, reaped, panicked).
+struct ConnGuard(Arc<AtomicUsize>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Bind `addr` and serve the query/ingest protocol forever (default
+/// hardening knobs).
 pub async fn serve(handle: ServiceHandle, addr: &str) -> io::Result<()> {
+    serve_with(handle, addr, ServerConfig::default()).await
+}
+
+/// Bind `addr` and serve with explicit hardening knobs.
+pub async fn serve_with(handle: ServiceHandle, addr: &str, config: ServerConfig) -> io::Result<()> {
     let listener = TcpListener::bind(addr).await?;
-    serve_on(handle, listener).await
+    serve_on_with(handle, listener, config).await
 }
 
 /// Serve on an already-bound listener (lets tests bind port 0 first).
 pub async fn serve_on(handle: ServiceHandle, listener: TcpListener) -> io::Result<()> {
+    serve_on_with(handle, listener, ServerConfig::default()).await
+}
+
+/// Serve on an already-bound listener with explicit hardening knobs.
+pub async fn serve_on_with(
+    handle: ServiceHandle,
+    listener: TcpListener,
+    config: ServerConfig,
+) -> io::Result<()> {
+    let active = Arc::new(AtomicUsize::new(0));
     loop {
-        let (stream, _peer) = listener.accept().await?;
+        let (mut stream, _peer) = listener.accept().await?;
+        // Accept gate: over the cap, answer with one retriable error line
+        // and close — an explicit, immediate shed beats an unbounded task
+        // pile-up that starves the connections already being served.
+        if active.load(Ordering::Relaxed) >= config.max_conns {
+            handle.service_stats().note_conn_rejected();
+            tokio::spawn(async move {
+                let _ = stream
+                    .write_all(
+                        format!("{}\n", retriable_error_line("connection limit reached"))
+                            .as_bytes(),
+                    )
+                    .await;
+            });
+            continue;
+        }
+        active.fetch_add(1, Ordering::Relaxed);
+        let guard = ConnGuard(Arc::clone(&active));
         let handle = handle.clone();
+        let config = config.clone();
         tokio::spawn(async move {
             // A dropped or misbehaving client only affects its own task.
-            let _ = handle_connection(handle, stream).await;
+            let _ = handle_connection(handle, stream, config).await;
+            drop(guard);
         });
     }
 }
 
-async fn handle_connection(handle: ServiceHandle, stream: TcpStream) -> io::Result<()> {
+async fn handle_connection(
+    handle: ServiceHandle,
+    stream: TcpStream,
+    config: ServerConfig,
+) -> io::Result<()> {
     let (read_half, mut write_half) = stream.into_split();
     let mut reader = BufReader::new(read_half);
     let mut line = Vec::new();
-    while read_capped_line(&mut reader, &mut line, MAX_LINE_BYTES).await? {
+    loop {
+        let read = tokio::time::timeout(
+            config.read_timeout,
+            read_capped_line(&mut reader, &mut line, config.max_line_bytes),
+        )
+        .await;
+        match read {
+            Err(_elapsed) => {
+                // Slow-loris reaping: the client held the line open without
+                // completing a request within the deadline.
+                handle.service_stats().note_conn_timed_out();
+                let farewell = format!("{}\n", error_line("read timeout, closing"));
+                let _ = write_half.write_all(farewell.as_bytes()).await;
+                return Ok(());
+            }
+            Ok(Err(e)) if e.kind() == io::ErrorKind::InvalidData => {
+                // Oversize line: tell the client why before closing (the
+                // line framing is already unrecoverable mid-line).
+                let farewell = format!("{}\n", error_line("request line too long, closing"));
+                let _ = write_half.write_all(farewell.as_bytes()).await;
+                return Ok(());
+            }
+            Ok(Err(e)) => return Err(e),
+            Ok(Ok(false)) => return Ok(()),
+            Ok(Ok(true)) => {}
+        }
         let request = String::from_utf8_lossy(&line).into_owned();
         let mut response = respond(&handle, &request).await;
         response.push('\n');
-        write_half.write_all(response.as_bytes()).await?;
+        if !write_response(&mut write_half, response.as_bytes(), config.chaos.as_deref()).await? {
+            return Ok(());
+        }
     }
-    Ok(())
+}
+
+/// Write one response frame, applying an injected fault when a chaos
+/// injector is armed. Returns `false` when the connection must close
+/// (a truncated frame leaves the client's line framing unrecoverable).
+async fn write_response<W: AsyncWriteExt + Unpin>(
+    writer: &mut W,
+    frame: &[u8],
+    chaos: Option<&ChaosInjector>,
+) -> io::Result<bool> {
+    let fault = chaos.map_or(FrameFault::Deliver, |c| c.frame_fault());
+    match fault {
+        FrameFault::Deliver => writer.write_all(frame).await?,
+        // The client sees silence and must retry on its own deadline.
+        FrameFault::Drop => {}
+        FrameFault::Delay(pause) => {
+            tokio::time::sleep(pause).await;
+            writer.write_all(frame).await?;
+        }
+        // At-least-once delivery stress: the client sees the reply twice.
+        FrameFault::Duplicate => {
+            writer.write_all(frame).await?;
+            writer.write_all(frame).await?;
+        }
+        FrameFault::Truncate => {
+            writer.write_all(&frame[..frame.len() / 2]).await?;
+            return Ok(false);
+        }
+    }
+    Ok(true)
 }
 
 /// Read one `\n`-terminated line into `buf` (newline excluded). Returns
@@ -98,8 +247,22 @@ fn error_line(message: &str) -> String {
     JsonObj::new().bool("ok", false).str("error", message).finish()
 }
 
+/// An error line carrying `"retriable": true` — the client should back
+/// off and try again (overload / connection-limit sheds, not bad input).
+fn retriable_error_line(message: &str) -> String {
+    JsonObj::new()
+        .bool("ok", false)
+        .bool("retriable", true)
+        .str("error", message)
+        .finish()
+}
+
 fn serve_error(err: &ServeError) -> String {
-    error_line(&err.to_string())
+    if err.retriable() {
+        retriable_error_line(&err.to_string())
+    } else {
+        error_line(&err.to_string())
+    }
 }
 
 /// Answer one request line. Pure with respect to the connection: all state
@@ -205,7 +368,14 @@ fn respond_sync(handle: &ServiceHandle, op: &str, obj: &json::FlatObject) -> Str
                 .int("epochs_attempted", report.epochs_attempted)
                 .int("epochs_published", report.epochs_published)
                 .int("epochs_degraded", report.epochs_degraded)
+                .int("epochs_panicked", report.epochs_panicked)
+                .int("epochs_overrun", report.epochs_overrun)
                 .int("queries_served", report.queries_served)
+                .int("requests_shed", report.requests_shed)
+                .int("conns_rejected", report.conns_rejected)
+                .int("conns_timed_out", report.conns_timed_out)
+                .int("wal_replayed_records", report.wal_replayed_records)
+                .int("wal_appended_records", report.wal_appended_records)
                 .int("events_ingested", handle.events_ingested())
                 .int("gossip_steps", report.gossip.steps)
                 .int("gossip_messages_sent", report.gossip.messages_sent)
@@ -386,6 +556,126 @@ mod tests {
         assert!(!is_ok(&garbage));
         let malformed = request(&mut stream, "not json at all").await;
         assert!(!is_ok(&malformed));
+
+        server.abort();
+        service.shutdown();
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+    async fn slow_loris_connections_are_reaped_by_the_read_deadline() {
+        let service = start_ring(8);
+        let listener = TcpListener::bind("127.0.0.1:0").await.expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let config =
+            ServerConfig { read_timeout: Duration::from_millis(50), ..ServerConfig::default() };
+        let server = tokio::spawn(serve_on_with(service.handle(), listener, config));
+
+        let mut stream = TcpStream::connect(addr).await.expect("connect");
+        // A partial request line, then silence: the classic slow loris.
+        stream.write_all(b"{\"op\":\"pi").await.expect("write");
+        let mut closing = Vec::new();
+        tokio::time::timeout(Duration::from_secs(5), stream.read_to_end(&mut closing))
+            .await
+            .expect("server must reap the stalled connection")
+            .expect("read");
+        assert!(
+            String::from_utf8_lossy(&closing).contains("read timeout"),
+            "the reap is announced before the close"
+        );
+        assert_eq!(service.handle().stats_report().conns_timed_out, 1);
+
+        // A fresh, honest connection still gets served.
+        let mut stream = TcpStream::connect(addr).await.expect("connect");
+        assert!(is_ok(&request(&mut stream, "{\"op\":\"ping\"}").await));
+
+        server.abort();
+        service.shutdown();
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+    async fn oversize_lines_are_refused_with_an_error_line() {
+        let service = start_ring(8);
+        let listener = TcpListener::bind("127.0.0.1:0").await.expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let config = ServerConfig { max_line_bytes: 64, ..ServerConfig::default() };
+        let server = tokio::spawn(serve_on_with(service.handle(), listener, config));
+
+        let mut stream = TcpStream::connect(addr).await.expect("connect");
+        stream.write_all(&[b'x'; 256]).await.expect("write");
+        let mut closing = Vec::new();
+        tokio::time::timeout(Duration::from_secs(5), stream.read_to_end(&mut closing))
+            .await
+            .expect("server must refuse the oversize line")
+            .expect("read");
+        assert!(String::from_utf8_lossy(&closing).contains("request line too long"));
+
+        server.abort();
+        service.shutdown();
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+    async fn connection_limit_sheds_with_a_retriable_error() {
+        let service = start_ring(8);
+        let listener = TcpListener::bind("127.0.0.1:0").await.expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let config = ServerConfig { max_conns: 1, ..ServerConfig::default() };
+        let server = tokio::spawn(serve_on_with(service.handle(), listener, config));
+
+        let mut first = TcpStream::connect(addr).await.expect("connect");
+        assert!(is_ok(&request(&mut first, "{\"op\":\"ping\"}").await));
+
+        // The second concurrent connection is shed at accept: the server
+        // volunteers one rejection line and closes (the client writes
+        // nothing, so the close is a clean EOF, not a reset).
+        let mut second = TcpStream::connect(addr).await.expect("connect");
+        let mut rejection = Vec::new();
+        tokio::time::timeout(Duration::from_secs(5), second.read_to_end(&mut rejection))
+            .await
+            .expect("rejection must arrive promptly")
+            .expect("read");
+        let shed = json::parse_flat(String::from_utf8_lossy(&rejection).trim())
+            .expect("rejection is one valid JSON line");
+        assert!(!is_ok(&shed));
+        assert!(json::get_str(&shed, "error")
+            .expect("error field")
+            .contains("connection limit"));
+        assert!(
+            shed.iter()
+                .any(|(k, v)| k == "retriable" && *v == json::JsonScalar::Bool(true)),
+            "the shed must be advertised as retriable"
+        );
+        assert_eq!(service.handle().stats_report().conns_rejected, 1);
+
+        // Closing the first connection frees the slot (the guard decrements
+        // on task exit, so poll briefly). Rejected retries are tolerated,
+        // not fatal — exactly how a backing-off client would behave.
+        drop(first);
+        let mut served = false;
+        for _ in 0..100 {
+            let mut retry = TcpStream::connect(addr).await.expect("connect");
+            if retry.write_all(b"{\"op\":\"ping\"}\n").await.is_err() {
+                tokio::time::sleep(Duration::from_millis(10)).await;
+                continue;
+            }
+            let mut reply = Vec::new();
+            let read = tokio::time::timeout(Duration::from_secs(5), async {
+                let mut byte = [0u8; 1];
+                loop {
+                    match retry.read_exact(&mut byte).await {
+                        Ok(_) if byte[0] == b'\n' => return true,
+                        Ok(_) => reply.push(byte[0]),
+                        Err(_) => return false,
+                    }
+                }
+            })
+            .await;
+            if read == Ok(true) && String::from_utf8_lossy(&reply).contains("\"ok\":true") {
+                served = true;
+                break;
+            }
+            tokio::time::sleep(Duration::from_millis(10)).await;
+        }
+        assert!(served, "a freed slot must admit a retrying client");
 
         server.abort();
         service.shutdown();

@@ -11,16 +11,19 @@
 //! view came from, which is what makes torn reads impossible by
 //! construction.
 
+use crate::chaos::{ChaosConfig, ChaosInjector, ChaosReport};
 use crate::epoch::{EpochCommand, EpochManager, EpochOutcome};
 use crate::log::{FeedbackEvent, FeedbackLog};
 use crate::snapshot::{ScoreSnapshot, SnapshotCell};
 use crate::stats::{ServiceStats, StatsReport};
+use crate::wal::Wal;
 use gossiptrust_core::id::NodeId;
 use gossiptrust_core::params::Params;
 use gossiptrust_storage::ranks::RankStorageConfig;
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::mpsc::{self, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -41,6 +44,19 @@ pub struct ServiceConfig {
     /// Epoch numbers whose aggregation is deliberately crippled (failure
     /// injection for degradation tests and chaos drills).
     pub fail_epochs: Vec<u64>,
+    /// Bound on the unfolded ingest backlog (`GT_INGEST_QUEUE`); further
+    /// ingest sheds with the retriable [`ServeError::Overloaded`] until an
+    /// epoch folds the backlog down.
+    pub ingest_queue: usize,
+    /// Directory of the crash-recovery write-ahead log (`GT_WAL_DIR`);
+    /// `None` = no WAL, feedback lives only in memory.
+    pub wal_dir: Option<PathBuf>,
+    /// Abandon an epoch whose fold + aggregate overruns this budget
+    /// (`GT_EPOCH_DEADLINE_MS`); `None` = no deadline.
+    pub epoch_deadline: Option<Duration>,
+    /// Seeded fault injection for the epoch path (`GT_CHAOS_SEED` arms the
+    /// soak mix in the serve binary); `None` = no injected faults.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl ServiceConfig {
@@ -54,6 +70,10 @@ impl ServiceConfig {
             base_seed: 42,
             epoch_interval: None,
             fail_epochs: Vec::new(),
+            ingest_queue: 65_536,
+            wal_dir: None,
+            epoch_deadline: None,
+            chaos: None,
         }
     }
 
@@ -68,6 +88,30 @@ impl ServiceConfig {
     /// Builder-style setter for the base seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.base_seed = seed;
+        self
+    }
+
+    /// Builder-style setter for the ingest-backlog bound.
+    pub fn with_ingest_queue(mut self, capacity: usize) -> Self {
+        self.ingest_queue = capacity;
+        self
+    }
+
+    /// Builder-style setter for the WAL directory (enables crash recovery).
+    pub fn with_wal_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.wal_dir = Some(dir.into());
+        self
+    }
+
+    /// Builder-style setter for the epoch deadline.
+    pub fn with_epoch_deadline(mut self, deadline: Duration) -> Self {
+        self.epoch_deadline = Some(deadline);
+        self
+    }
+
+    /// Builder-style setter for epoch-path fault injection.
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = Some(chaos);
         self
     }
 }
@@ -87,6 +131,24 @@ pub enum ServeError {
     Stopped,
     /// A malformed request (TCP front-end parse errors land here).
     BadRequest(String),
+    /// The unfolded ingest backlog is at capacity; the request was shed.
+    /// Retriable — the next epoch fold drains the backlog.
+    Overloaded {
+        /// Unfolded events pending at shed time.
+        pending: u64,
+        /// The configured backlog bound (`GT_INGEST_QUEUE`).
+        capacity: u64,
+    },
+    /// The write-ahead log could not persist the feedback; the event was
+    /// NOT applied (the durability guarantee is applied ⊇ acknowledged).
+    Wal(String),
+}
+
+impl ServeError {
+    /// Whether a client should retry this error after backing off.
+    pub fn retriable(&self) -> bool {
+        matches!(self, ServeError::Overloaded { .. })
+    }
 }
 
 impl fmt::Display for ServeError {
@@ -97,6 +159,10 @@ impl fmt::Display for ServeError {
             }
             ServeError::Stopped => write!(f, "service is shut down"),
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::Overloaded { pending, capacity } => {
+                write!(f, "overloaded: {pending} events pending (capacity {capacity}), retry later")
+            }
+            ServeError::Wal(msg) => write!(f, "write-ahead log failure: {msg}"),
         }
     }
 }
@@ -148,6 +214,12 @@ pub struct ServiceHandle {
     cell: Arc<SnapshotCell>,
     stats: Arc<ServiceStats>,
     commands: Sender<EpochCommand>,
+    /// Crash-recovery WAL; every ingest appends here *before* applying to
+    /// the in-memory log, so a `kill -9` can lose unacknowledged events
+    /// but never acknowledged ones (at-least-once on replay).
+    wal: Option<Arc<Mutex<Wal>>>,
+    /// Admission-gate bound on `log.pending_events()`.
+    ingest_capacity: u64,
 }
 
 impl ServiceHandle {
@@ -164,19 +236,51 @@ impl ServiceHandle {
         }
     }
 
-    /// Ingest one rating into the next epoch's matrix.
-    pub fn record(&self, rater: NodeId, target: NodeId, score: f64) -> Result<(), ServeError> {
-        self.check_peer(rater)?;
-        self.check_peer(target)?;
-        self.log.record(FeedbackEvent { rater, target, score });
+    /// The bounded-queue admission gate: shed (retriably) when the
+    /// unfolded backlog is already at capacity. Load-shedding at admission
+    /// keeps memory bounded and converts overload into explicit, visible
+    /// backpressure instead of unbounded buffering.
+    fn admit(&self) -> Result<(), ServeError> {
+        let pending = self.log.pending_events();
+        if pending >= self.ingest_capacity {
+            self.stats.note_request_shed();
+            return Err(ServeError::Overloaded { pending, capacity: self.ingest_capacity });
+        }
         Ok(())
     }
 
-    /// Ingest a batch of ratings from one rater (one shard lock).
+    /// Ingest one rating into the next epoch's matrix.
+    ///
+    /// Sheds with [`ServeError::Overloaded`] when the unfolded backlog is
+    /// at capacity. With a WAL configured, the event is durable before the
+    /// `Ok` acknowledgment.
+    pub fn record(&self, rater: NodeId, target: NodeId, score: f64) -> Result<(), ServeError> {
+        self.check_peer(rater)?;
+        self.check_peer(target)?;
+        self.admit()?;
+        let event = FeedbackEvent { rater, target, score };
+        if let Some(wal) = &self.wal {
+            let mut wal = wal.lock().expect("WAL lock poisoned");
+            wal.append(&event).map_err(|e| ServeError::Wal(e.to_string()))?;
+            self.stats.note_wal_appended(1);
+        }
+        self.log.record(event);
+        Ok(())
+    }
+
+    /// Ingest a batch of ratings from one rater (one shard lock, one WAL
+    /// write). Admission is checked once for the whole batch.
     pub fn record_batch(&self, rater: NodeId, ratings: &[(NodeId, f64)]) -> Result<(), ServeError> {
         self.check_peer(rater)?;
         for &(target, _) in ratings {
             self.check_peer(target)?;
+        }
+        self.admit()?;
+        if let Some(wal) = &self.wal {
+            let mut wal = wal.lock().expect("WAL lock poisoned");
+            wal.append_batch(rater, ratings)
+                .map_err(|e| ServeError::Wal(e.to_string()))?;
+            self.stats.note_wal_appended(ratings.len() as u64);
         }
         self.log.record_batch(rater, ratings);
         Ok(())
@@ -238,6 +342,23 @@ impl ServiceHandle {
         self.log.events()
     }
 
+    /// Unfolded ingest backlog (what the admission gate bounds).
+    pub fn pending_events(&self) -> u64 {
+        self.log.pending_events()
+    }
+
+    /// Clone out the raw accumulated local-trust rows — the audit surface
+    /// the chaos soak uses to prove no acknowledged feedback was lost.
+    pub fn raw_rows(&self) -> Vec<gossiptrust_core::local::LocalTrust> {
+        self.log.raw_rows()
+    }
+
+    /// The shared counter block (for front-ends that bump connection-level
+    /// counters).
+    pub(crate) fn service_stats(&self) -> Arc<ServiceStats> {
+        Arc::clone(&self.stats)
+    }
+
     /// Run one epoch immediately and wait for its outcome.
     pub fn run_epoch_now(&self) -> Result<EpochOutcome, ServeError> {
         let (tx, rx) = mpsc::channel();
@@ -257,16 +378,19 @@ pub struct ReputationService {
     handle: ServiceHandle,
     commands: Sender<EpochCommand>,
     worker: Option<JoinHandle<()>>,
+    chaos: Option<Arc<ChaosInjector>>,
 }
 
 impl ReputationService {
-    /// Validate `config`, publish the bootstrap snapshot, and spawn the
-    /// epoch loop.
+    /// Validate `config`, replay the WAL (if configured), publish the
+    /// bootstrap snapshot, and spawn the epoch loop.
     ///
     /// # Panics
     ///
-    /// Panics when `config.params` fails validation — a service with
-    /// out-of-domain parameters should not come up at all.
+    /// Panics when `config.params` fails validation, when the WAL
+    /// directory cannot be opened or belongs to a different population, or
+    /// when the chaos config is over-unity — a service with out-of-domain
+    /// configuration should not come up at all.
     pub fn start(config: ServiceConfig) -> Self {
         config.params.validate().expect("invalid service parameters");
         let n = config.params.n;
@@ -277,7 +401,20 @@ impl ReputationService {
             config.rank_config,
         )));
         let stats = Arc::new(ServiceStats::new());
-        let manager = EpochManager::new(
+        let wal = config.wal_dir.as_ref().map(|dir| {
+            let (wal, replay) = Wal::open(dir, n)
+                .unwrap_or_else(|e| panic!("cannot open WAL in {}: {e}", dir.display()));
+            // Replay straight into the log (not through the handle): the
+            // records are already durable, and replay bypasses both the
+            // admission gate and re-appending.
+            for event in &replay.events {
+                log.record(*event);
+            }
+            stats.note_wal_replayed(replay.events.len() as u64);
+            Arc::new(Mutex::new(wal))
+        });
+        let chaos = config.chaos.map(|c| Arc::new(ChaosInjector::new(c)));
+        let mut manager = EpochManager::new(
             Arc::clone(&log),
             Arc::clone(&cell),
             Arc::clone(&stats),
@@ -286,14 +423,33 @@ impl ReputationService {
             config.base_seed,
             config.fail_epochs,
         );
+        if let Some(deadline) = config.epoch_deadline {
+            manager = manager.with_deadline(deadline);
+        }
+        if let Some(injector) = &chaos {
+            manager = manager.with_chaos(Arc::clone(injector));
+        }
         let (tx, rx) = mpsc::channel();
         let interval = config.epoch_interval;
         let worker = std::thread::Builder::new()
             .name("gt-epoch".into())
             .spawn(move || manager.run_loop(interval, rx))
             .expect("spawn epoch loop");
-        let handle = ServiceHandle { log, cell, stats, commands: tx.clone() };
-        ReputationService { handle, commands: tx, worker: Some(worker) }
+        let handle = ServiceHandle {
+            log,
+            cell,
+            stats,
+            commands: tx.clone(),
+            wal,
+            ingest_capacity: config.ingest_queue.max(1) as u64,
+        };
+        ReputationService { handle, commands: tx, worker: Some(worker), chaos }
+    }
+
+    /// Counters of the faults the epoch-path injector has dealt so far
+    /// (`None` when the service runs without chaos).
+    pub fn chaos_report(&self) -> Option<ChaosReport> {
+        self.chaos.as_ref().map(|c| c.report())
     }
 
     /// A cloneable ingest/query handle.
@@ -393,5 +549,68 @@ mod tests {
         h.run_epoch_now().expect("loop alive");
         assert_eq!(h.top_k(100).peers.len(), 6);
         service.shutdown();
+    }
+
+    #[test]
+    fn admission_gate_sheds_retriably_and_recovers_after_a_fold() {
+        let service = ReputationService::start(ServiceConfig::new(8).with_ingest_queue(4));
+        let h = service.handle();
+        for i in 0..4 {
+            h.record(NodeId::from_index(i), NodeId::from_index((i + 1) % 8), 1.0)
+                .expect("under capacity");
+        }
+        let err = h.record(NodeId(0), NodeId(1), 1.0).expect_err("backlog at capacity");
+        assert_eq!(err, ServeError::Overloaded { pending: 4, capacity: 4 });
+        assert!(err.retriable(), "overload must be advertised as retriable");
+        assert!(h.record_batch(NodeId(0), &[(NodeId(1), 1.0)]).is_err());
+        assert_eq!(h.stats_report().requests_shed, 2);
+        // An epoch folds the backlog down; ingest admits again.
+        h.run_epoch_now().expect("loop alive");
+        assert_eq!(h.pending_events(), 0);
+        assert!(h.record(NodeId(0), NodeId(1), 1.0).is_ok());
+        service.shutdown();
+    }
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SERIAL: AtomicU64 = AtomicU64::new(0);
+        let serial = SERIAL.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("gt-svc-test-{}-{tag}-{serial}", std::process::id()))
+    }
+
+    /// Flatten the raw rows into comparable `(rater, target, amount)`
+    /// triples, preserving per-row insertion order.
+    fn flat_rows(h: &ServiceHandle) -> Vec<(usize, Vec<(NodeId, f64)>)> {
+        h.raw_rows()
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i, r.iter_raw().collect()))
+            .collect()
+    }
+
+    #[test]
+    fn wal_restart_replays_acknowledged_feedback_exactly() {
+        let dir = scratch_dir("restart");
+        let before = {
+            let service = ReputationService::start(ServiceConfig::new(6).with_wal_dir(&dir));
+            let h = service.handle();
+            h.record(NodeId(0), NodeId(1), 2.5).expect("in range");
+            h.record(NodeId(0), NodeId(1), 1.5).expect("in range");
+            h.record_batch(NodeId(4), &[(NodeId(2), 1.0), (NodeId(5), 3.0)])
+                .expect("in range");
+            assert_eq!(h.stats_report().wal_appended_records, 4);
+            let rows = flat_rows(&h);
+            service.shutdown();
+            rows
+        };
+        // "Restart": a fresh service on the same WAL dir replays every
+        // acknowledged event into an identical accumulated state.
+        let service = ReputationService::start(ServiceConfig::new(6).with_wal_dir(&dir));
+        let h = service.handle();
+        assert_eq!(h.stats_report().wal_replayed_records, 4);
+        assert_eq!(h.events_ingested(), 4);
+        assert_eq!(flat_rows(&h), before);
+        service.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -22,7 +22,25 @@ pub struct ServiceStats {
     /// Epochs that failed or did not converge and therefore left the
     /// previous snapshot serving — the graceful-degradation counter.
     epochs_degraded: AtomicU64,
+    /// Epochs whose body panicked and was contained by the watchdog's
+    /// `catch_unwind` (the engine is rebuilt, the prior snapshot serves).
+    epochs_panicked: AtomicU64,
+    /// Epochs that completed but blew the `GT_EPOCH_DEADLINE_MS` budget
+    /// and were abandoned (result discarded, prior snapshot kept).
+    epochs_overrun: AtomicU64,
     queries_served: AtomicU64,
+    /// Ingest requests shed by the bounded-queue admission gate
+    /// (`GT_INGEST_QUEUE`) — the retriable `overloaded` error.
+    requests_shed: AtomicU64,
+    /// Connections refused at accept because `GT_CONN_LIMIT` was reached.
+    conns_rejected: AtomicU64,
+    /// Connections closed by the per-line read deadline
+    /// (`GT_READ_TIMEOUT_MS`) — slow-loris reaping.
+    conns_timed_out: AtomicU64,
+    /// Feedback records replayed from the WAL at startup.
+    wal_replayed_records: AtomicU64,
+    /// Feedback records appended to the WAL since startup.
+    wal_appended_records: AtomicU64,
     gossip_steps: AtomicU64,
     gossip_messages_sent: AtomicU64,
     gossip_messages_dropped: AtomicU64,
@@ -41,8 +59,22 @@ pub struct StatsReport {
     pub epochs_published: u64,
     /// Epochs that degraded (failed/non-converged; previous snapshot kept).
     pub epochs_degraded: u64,
+    /// Epochs whose body panicked (contained; engine rebuilt).
+    pub epochs_panicked: u64,
+    /// Epochs abandoned for overrunning the epoch deadline.
+    pub epochs_overrun: u64,
     /// Queries answered across all front-ends.
     pub queries_served: u64,
+    /// Ingest requests shed by the bounded-queue admission gate.
+    pub requests_shed: u64,
+    /// Connections refused at the accept gate (`GT_CONN_LIMIT`).
+    pub conns_rejected: u64,
+    /// Connections reaped by the read deadline (`GT_READ_TIMEOUT_MS`).
+    pub conns_timed_out: u64,
+    /// Feedback records replayed from the WAL at startup.
+    pub wal_replayed_records: u64,
+    /// Feedback records appended to the WAL since startup.
+    pub wal_appended_records: u64,
     /// Total gossip activity across all epochs (sum of per-epoch diffs).
     pub gossip: GossipStats,
     /// Wall time of the most recent epoch in milliseconds.
@@ -83,14 +115,77 @@ impl ServiceStats {
             .store((wall_ms * 1_000.0) as u64, Ordering::Relaxed);
     }
 
+    /// Note an epoch whose body panicked and was contained. Counts as its
+    /// own failure class (not `epochs_degraded`): a panic means the engine
+    /// was rebuilt, not merely that convergence was missed.
+    pub fn note_epoch_panicked(&self, wall_ms: f64) {
+        self.epochs_panicked.fetch_add(1, Ordering::Relaxed);
+        self.last_epoch_wall_us
+            .store((wall_ms * 1_000.0) as u64, Ordering::Relaxed);
+    }
+
+    /// Note an epoch abandoned for overrunning its deadline. The gossip
+    /// `delta` is still absorbed — the work was burned even though the
+    /// result was discarded.
+    pub fn note_epoch_overrun(&self, delta: &GossipStats, wall_ms: f64) {
+        self.epochs_overrun.fetch_add(1, Ordering::Relaxed);
+        self.gossip_steps.fetch_add(delta.steps, Ordering::Relaxed);
+        self.gossip_messages_sent
+            .fetch_add(delta.messages_sent, Ordering::Relaxed);
+        self.gossip_messages_dropped
+            .fetch_add(delta.messages_dropped, Ordering::Relaxed);
+        self.gossip_triplets_sent
+            .fetch_add(delta.triplets_sent, Ordering::Relaxed);
+        self.gossip_bytes_streamed
+            .fetch_add(delta.bytes_streamed, Ordering::Relaxed);
+        self.last_epoch_wall_us
+            .store((wall_ms * 1_000.0) as u64, Ordering::Relaxed);
+    }
+
     /// Note one answered query.
     pub fn note_query(&self) {
         self.queries_served.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Note one ingest request shed by the admission gate.
+    pub fn note_request_shed(&self) {
+        self.requests_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Note one connection refused at the accept gate.
+    pub fn note_conn_rejected(&self) {
+        self.conns_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Note one connection reaped by the read deadline.
+    pub fn note_conn_timed_out(&self) {
+        self.conns_timed_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Note `records` feedback events replayed from the WAL at startup.
+    pub fn note_wal_replayed(&self, records: u64) {
+        self.wal_replayed_records.fetch_add(records, Ordering::Relaxed);
+    }
+
+    /// Note `records` feedback events appended to the WAL.
+    pub fn note_wal_appended(&self, records: u64) {
+        self.wal_appended_records.fetch_add(records, Ordering::Relaxed);
+    }
+
     /// Degraded-epoch count (the graceful-degradation counter).
     pub fn epochs_degraded(&self) -> u64 {
         self.epochs_degraded.load(Ordering::Relaxed)
+    }
+
+    /// Epochs abandoned by the watchdog, either failure class
+    /// (panicked + overrun).
+    pub fn epochs_abandoned(&self) -> u64 {
+        self.epochs_panicked.load(Ordering::Relaxed) + self.epochs_overrun.load(Ordering::Relaxed)
+    }
+
+    /// Ingest requests shed so far.
+    pub fn requests_shed(&self) -> u64 {
+        self.requests_shed.load(Ordering::Relaxed)
     }
 
     /// Published-epoch count.
@@ -109,7 +204,14 @@ impl ServiceStats {
             epochs_attempted: self.epochs_attempted.load(Ordering::Relaxed),
             epochs_published: self.epochs_published.load(Ordering::Relaxed),
             epochs_degraded: self.epochs_degraded.load(Ordering::Relaxed),
+            epochs_panicked: self.epochs_panicked.load(Ordering::Relaxed),
+            epochs_overrun: self.epochs_overrun.load(Ordering::Relaxed),
             queries_served: self.queries_served.load(Ordering::Relaxed),
+            requests_shed: self.requests_shed.load(Ordering::Relaxed),
+            conns_rejected: self.conns_rejected.load(Ordering::Relaxed),
+            conns_timed_out: self.conns_timed_out.load(Ordering::Relaxed),
+            wal_replayed_records: self.wal_replayed_records.load(Ordering::Relaxed),
+            wal_appended_records: self.wal_appended_records.load(Ordering::Relaxed),
             gossip: GossipStats {
                 steps: self.gossip_steps.load(Ordering::Relaxed),
                 messages_sent: self.gossip_messages_sent.load(Ordering::Relaxed),
@@ -152,6 +254,39 @@ mod tests {
         assert_eq!(r.gossip.bytes_streamed, 8_000);
         assert!((r.gossip.bytes_streamed_per_step() - 400.0).abs() < 1e-12);
         assert!((r.last_epoch_wall_ms - 2.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn robustness_counters_accumulate_independently() {
+        let stats = ServiceStats::new();
+        let delta = GossipStats { steps: 5, messages_sent: 10, ..GossipStats::default() };
+        stats.note_epoch_started();
+        stats.note_epoch_panicked(3.0);
+        stats.note_epoch_started();
+        stats.note_epoch_overrun(&delta, 9.0);
+        stats.note_request_shed();
+        stats.note_request_shed();
+        stats.note_conn_rejected();
+        stats.note_conn_timed_out();
+        stats.note_wal_replayed(40);
+        stats.note_wal_appended(3);
+        let r = stats.report();
+        assert_eq!(r.epochs_attempted, 2);
+        assert_eq!(r.epochs_panicked, 1);
+        assert_eq!(r.epochs_overrun, 1);
+        assert_eq!(stats.epochs_abandoned(), 2);
+        // Neither failure class double-counts as published or degraded.
+        assert_eq!(r.epochs_published, 0);
+        assert_eq!(r.epochs_degraded, 0);
+        assert_eq!(r.requests_shed, 2);
+        assert_eq!(stats.requests_shed(), 2);
+        assert_eq!(r.conns_rejected, 1);
+        assert_eq!(r.conns_timed_out, 1);
+        assert_eq!(r.wal_replayed_records, 40);
+        assert_eq!(r.wal_appended_records, 3);
+        // Overrun epochs still absorb their gossip burn.
+        assert_eq!(r.gossip.steps, 5);
+        assert!((r.last_epoch_wall_ms - 9.0).abs() < 1e-3);
     }
 
     #[test]

@@ -1,0 +1,398 @@
+//! CRC-framed write-ahead log for the feedback path.
+//!
+//! Without a WAL, a crashed node loses its entire [`crate::log::FeedbackLog`]
+//! — every local-trust row it accumulated since startup — and rejoins the
+//! network as a blank rater. The paper's fault-tolerance story (§6.1)
+//! assumes peers keep their local trust across churn; this module is what
+//! makes that true for the real service: every acknowledged feedback event
+//! is appended here *before* it is applied to the in-memory log, and a
+//! restarting service replays the file back into the log, rebuilding the
+//! exact same rows (and therefore, after a fold, the bit-identical
+//! `TrustMatrix`).
+//!
+//! ## On-disk format
+//!
+//! ```text
+//! header  (16 bytes): magic "GTWAL1\0\0" | n: u64 LE
+//! record  (24 bytes): len: u32 LE (= 16) | crc32(payload): u32 LE | payload
+//! payload (16 bytes): rater: u32 LE | target: u32 LE | score: f64 bits LE
+//! ```
+//!
+//! The CRC is CRC-32 (IEEE, reflected — the zlib/PNG polynomial),
+//! hand-rolled because the workspace pins its dependency set. Scores are
+//! stored as raw bit patterns, so replay is bit-exact (`-0.0`, subnormals
+//! and all).
+//!
+//! ## Crash tolerance
+//!
+//! [`Wal::open`] scans the whole file on startup and accepts the longest
+//! prefix of valid records. The first torn record (truncated mid-write),
+//! CRC mismatch (bit flip), bad length tag or out-of-range peer id ends
+//! the replay: the file is truncated back to the end of the last valid
+//! record and appends continue from there. A torn tail therefore costs at
+//! most the events that were never acknowledged; acknowledged events are
+//! written (and pushed to the OS) before the acknowledgment, so a process
+//! crash — `kill -9` included — cannot lose them. (Surviving power loss
+//! would additionally need an fsync per append; that durability class is
+//! out of scope and documented in DESIGN.md §9.)
+//!
+//! Compaction is deliberately absent: the feedback log is append-only and
+//! cumulative across epochs (folds never consume it), so the WAL is simply
+//! the same history in durable form.
+
+use crate::log::FeedbackEvent;
+use gossiptrust_core::id::NodeId;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// File header magic (8 bytes): format name + version.
+const MAGIC: [u8; 8] = *b"GTWAL1\0\0";
+/// Header length: magic + `n` as u64 LE.
+const HEADER_LEN: u64 = 16;
+/// Payload length of the (single) record type.
+const PAYLOAD_LEN: usize = 16;
+/// Full framed record length: len tag + crc + payload.
+const RECORD_LEN: usize = 8 + PAYLOAD_LEN;
+/// Name of the log file inside the WAL directory.
+const FILE_NAME: &str = "feedback.wal";
+
+/// CRC-32 (IEEE 802.3, reflected) lookup table, built at compile time.
+static CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE, reflected) of `bytes` — the zlib/PNG checksum.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// What a startup replay recovered.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WalReplay {
+    /// Every valid record, in append order.
+    pub events: Vec<FeedbackEvent>,
+    /// Bytes discarded from the tail (0 = the file was clean).
+    pub truncated_bytes: u64,
+}
+
+/// An open write-ahead log: appends go to the end of the recovered prefix.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+}
+
+/// Encode one event as a framed record (len | crc | payload).
+pub fn encode_record(event: &FeedbackEvent) -> [u8; RECORD_LEN] {
+    let mut payload = [0u8; PAYLOAD_LEN];
+    payload[0..4].copy_from_slice(&event.rater.0.to_le_bytes());
+    payload[4..8].copy_from_slice(&event.target.0.to_le_bytes());
+    payload[8..16].copy_from_slice(&event.score.to_bits().to_le_bytes());
+    let mut record = [0u8; RECORD_LEN];
+    record[0..4].copy_from_slice(&(PAYLOAD_LEN as u32).to_le_bytes());
+    record[4..8].copy_from_slice(&crc32(&payload).to_le_bytes());
+    record[8..].copy_from_slice(&payload);
+    record
+}
+
+/// Decode the payload of one framed record (length and CRC already
+/// checked by the caller).
+fn decode_payload(payload: &[u8]) -> FeedbackEvent {
+    let rater = u32::from_le_bytes(payload[0..4].try_into().expect("4 bytes"));
+    let target = u32::from_le_bytes(payload[4..8].try_into().expect("4 bytes"));
+    let bits = u64::from_le_bytes(payload[8..16].try_into().expect("8 bytes"));
+    FeedbackEvent { rater: NodeId(rater), target: NodeId(target), score: f64::from_bits(bits) }
+}
+
+impl Wal {
+    /// Open (or create) the WAL for an `n`-peer population under `dir`,
+    /// replaying any existing records.
+    ///
+    /// Creates `dir` if missing. An existing file must carry the right
+    /// magic and the same `n` — a population mismatch means the operator
+    /// pointed the service at another deployment's log, which must abort
+    /// loudly rather than replay nonsense ids. The recovered prefix rule
+    /// is described in the module docs; after `open` returns, the file
+    /// contains exactly the records in [`WalReplay::events`].
+    pub fn open(dir: &Path, n: usize) -> io::Result<(Wal, WalReplay)> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(FILE_NAME);
+        let mut file = OpenOptions::new().read(true).write(true).create(true).open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+
+        if bytes.is_empty() {
+            let mut header = [0u8; HEADER_LEN as usize];
+            header[0..8].copy_from_slice(&MAGIC);
+            header[8..16].copy_from_slice(&(n as u64).to_le_bytes());
+            file.write_all(&header)?;
+            file.flush()?;
+            return Ok((Wal { file, path }, WalReplay::default()));
+        }
+        if bytes.len() < HEADER_LEN as usize || bytes[0..8] != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{} is not a GTWAL1 file", path.display()),
+            ));
+        }
+        let header_n = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+        if header_n != n as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "{} was written for n = {header_n}, this service has n = {n}",
+                    path.display()
+                ),
+            ));
+        }
+
+        // Accept the longest valid prefix of records; anything after the
+        // first torn/corrupt record is a tail to discard.
+        let mut events = Vec::new();
+        let mut good_end = HEADER_LEN as usize;
+        while bytes.len() - good_end >= RECORD_LEN {
+            let frame = &bytes[good_end..good_end + RECORD_LEN];
+            let len = u32::from_le_bytes(frame[0..4].try_into().expect("4 bytes"));
+            let crc = u32::from_le_bytes(frame[4..8].try_into().expect("4 bytes"));
+            let payload = &frame[8..];
+            if len as usize != PAYLOAD_LEN || crc32(payload) != crc {
+                break;
+            }
+            let event = decode_payload(payload);
+            if event.rater.index() >= n || event.target.index() >= n {
+                break;
+            }
+            events.push(event);
+            good_end += RECORD_LEN;
+        }
+        let truncated_bytes = (bytes.len() - good_end) as u64;
+        if truncated_bytes > 0 {
+            file.set_len(good_end as u64)?;
+        }
+        file.seek(SeekFrom::Start(good_end as u64))?;
+        Ok((Wal { file, path }, WalReplay { events, truncated_bytes }))
+    }
+
+    /// Append one event. The record is written (and pushed to the OS)
+    /// before this returns — only after that may the caller acknowledge.
+    pub fn append(&mut self, event: &FeedbackEvent) -> io::Result<()> {
+        self.file.write_all(&encode_record(event))?;
+        self.file.flush()
+    }
+
+    /// Append a batch of ratings from one rater as one contiguous write.
+    pub fn append_batch(&mut self, rater: NodeId, ratings: &[(NodeId, f64)]) -> io::Result<()> {
+        let mut buf = Vec::with_capacity(ratings.len() * RECORD_LEN);
+        for &(target, score) in ratings {
+            buf.extend_from_slice(&encode_record(&FeedbackEvent { rater, target, score }));
+        }
+        self.file.write_all(&buf)?;
+        self.file.flush()
+    }
+
+    /// Path of the underlying log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A unique, collision-free scratch directory per test invocation —
+    /// process id + a process-local counter, no ambient entropy.
+    fn scratch_dir(tag: &str) -> PathBuf {
+        static SERIAL: AtomicU64 = AtomicU64::new(0);
+        let serial = SERIAL.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("gt-wal-test-{}-{tag}-{serial}", std::process::id()));
+        // A leftover directory from a crashed previous run would alias
+        // this test's state; start clean.
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn ev(rater: u32, target: u32, score: f64) -> FeedbackEvent {
+        FeedbackEvent { rater: NodeId(rater), target: NodeId(target), score }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard test vectors for CRC-32/ISO-HDLC (the zlib polynomial).
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn fresh_open_then_append_then_replay() {
+        let dir = scratch_dir("roundtrip");
+        let (mut wal, replay) = Wal::open(&dir, 16).expect("open fresh");
+        assert!(replay.events.is_empty());
+        assert_eq!(replay.truncated_bytes, 0);
+        wal.append(&ev(1, 2, 3.5)).expect("append");
+        wal.append_batch(NodeId(7), &[(NodeId(0), 1.0), (NodeId(3), -0.0)])
+            .expect("append batch");
+        drop(wal);
+
+        let (_wal, replay) = Wal::open(&dir, 16).expect("reopen");
+        assert_eq!(replay.events, vec![ev(1, 2, 3.5), ev(7, 0, 1.0), ev(7, 3, -0.0)]);
+        // Bit-exact: -0.0 survives as -0.0.
+        assert!(replay.events[2].score.is_sign_negative());
+        assert_eq!(replay.truncated_bytes, 0);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appends_continue() {
+        let dir = scratch_dir("torn");
+        let (mut wal, _) = Wal::open(&dir, 8).expect("open");
+        wal.append(&ev(0, 1, 1.0)).expect("append");
+        wal.append(&ev(2, 3, 2.0)).expect("append");
+        let path = wal.path().to_path_buf();
+        drop(wal);
+
+        // Tear the last record mid-write: chop 5 bytes off the tail.
+        let bytes = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).expect("tear");
+
+        let (mut wal, replay) = Wal::open(&dir, 8).expect("recover");
+        assert_eq!(replay.events, vec![ev(0, 1, 1.0)]);
+        assert_eq!(replay.truncated_bytes, (RECORD_LEN - 5) as u64);
+
+        // The log is usable again: new appends land after the good prefix.
+        wal.append(&ev(4, 5, 3.0)).expect("append after recovery");
+        drop(wal);
+        let (_, replay) = Wal::open(&dir, 8).expect("reopen");
+        assert_eq!(replay.events, vec![ev(0, 1, 1.0), ev(4, 5, 3.0)]);
+        assert_eq!(replay.truncated_bytes, 0);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn bit_flip_stops_replay_at_the_flip() {
+        let dir = scratch_dir("bitflip");
+        let (mut wal, _) = Wal::open(&dir, 8).expect("open");
+        for i in 0..4 {
+            wal.append(&ev(i, (i + 1) % 8, 1.0 + i as f64)).expect("append");
+        }
+        let path = wal.path().to_path_buf();
+        drop(wal);
+
+        // Flip one payload bit in the third record.
+        let mut bytes = std::fs::read(&path).expect("read");
+        let offset = HEADER_LEN as usize + 2 * RECORD_LEN + 12;
+        bytes[offset] ^= 0x40;
+        std::fs::write(&path, &bytes).expect("flip");
+
+        let (_, replay) = Wal::open(&dir, 8).expect("recover");
+        assert_eq!(replay.events, vec![ev(0, 1, 1.0), ev(1, 2, 2.0)]);
+        assert_eq!(replay.truncated_bytes, 2 * RECORD_LEN as u64);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn out_of_range_id_is_treated_as_corruption() {
+        let dir = scratch_dir("range");
+        let (mut wal, _) = Wal::open(&dir, 8).expect("open");
+        wal.append(&ev(0, 1, 1.0)).expect("append");
+        // Forge a valid-CRC record whose rater is out of range for n = 8.
+        let forged = encode_record(&ev(99, 1, 1.0));
+        wal.file.write_all(&forged).expect("forge");
+        wal.file.flush().expect("flush");
+        drop(wal);
+
+        let (_, replay) = Wal::open(&dir, 8).expect("recover");
+        assert_eq!(replay.events, vec![ev(0, 1, 1.0)]);
+        assert_eq!(replay.truncated_bytes, RECORD_LEN as u64);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn population_mismatch_refuses_to_open() {
+        let dir = scratch_dir("mismatch");
+        let (wal, _) = Wal::open(&dir, 8).expect("open");
+        drop(wal);
+        let err = Wal::open(&dir, 9).expect_err("n mismatch must refuse");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn foreign_file_refuses_to_open() {
+        let dir = scratch_dir("foreign");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(dir.join(FILE_NAME), b"definitely not a WAL file").expect("write");
+        let err = Wal::open(&dir, 8).expect_err("bad magic must refuse");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    proptest! {
+        /// Any event sequence round-trips bit-exactly through the framing,
+        /// and any tail truncation recovers the longest intact prefix.
+        #[test]
+        fn records_roundtrip_and_survive_any_truncation(
+            raw in proptest::collection::vec((0u32..32, 0u32..32, -1e9f64..1e9), 0..40),
+            cut in 0usize..=40 * RECORD_LEN,
+        ) {
+            let events: Vec<FeedbackEvent> =
+                raw.iter().map(|&(r, t, s)| ev(r, t, s)).collect();
+            let dir = scratch_dir("prop");
+            let (mut wal, _) = Wal::open(&dir, 32).expect("open");
+            for e in &events {
+                wal.append(e).expect("append");
+            }
+            let path = wal.path().to_path_buf();
+            drop(wal);
+
+            // Clean reopen: everything comes back bit-for-bit.
+            let (_, replay) = Wal::open(&dir, 32).expect("reopen");
+            prop_assert_eq!(replay.events.len(), events.len());
+            for (got, want) in replay.events.iter().zip(&events) {
+                prop_assert_eq!(got.rater, want.rater);
+                prop_assert_eq!(got.target, want.target);
+                prop_assert_eq!(got.score.to_bits(), want.score.to_bits());
+            }
+
+            // Truncate `cut` bytes off the tail: the replay is exactly the
+            // records that remained whole.
+            let bytes = std::fs::read(&path).expect("read");
+            let cut = cut.min(bytes.len() - HEADER_LEN as usize);
+            std::fs::write(&path, &bytes[..bytes.len() - cut]).expect("truncate");
+            let (_, replay) = Wal::open(&dir, 32).expect("recover");
+            let whole = (bytes.len() - HEADER_LEN as usize - cut) / RECORD_LEN;
+            prop_assert_eq!(replay.events.len(), whole);
+            for (got, want) in replay.events.iter().zip(&events) {
+                prop_assert_eq!(got.score.to_bits(), want.score.to_bits());
+            }
+            std::fs::remove_dir_all(&dir).expect("cleanup");
+        }
+    }
+}

@@ -48,6 +48,12 @@ step cargo test -q -p gossiptrust-serve --features invariants
 
 step env GT_QUICK=1 cargo run --release -p gossiptrust-experiments --bin all
 
+# Chaos shard: the deterministic fault-injection soak (quick mode) —
+# epoch panics/overruns under the watchdog, overload shedding, torn-tail
+# WAL recovery, and the TCP drill (frame faults, slow-loris reaping, the
+# connection-limit gate). One fixed seed; a red run replays identically.
+step env GT_QUICK=1 cargo run --release -p gossiptrust-experiments --bin chaos_soak
+
 step env GT_BENCH_QUICK=1 cargo run --release -p gossiptrust-serve --bin loadgen
 
 echo

@@ -1,0 +1,184 @@
+//! Deterministic chaos-soak integration test: a 200-node service under
+//! the injected fault matrix (epoch panics, fold/aggregate overruns,
+//! ingest overload) with a concurrent reader, followed by a torn-tail
+//! crash and WAL replay. Everything runs from one fixed chaos seed, so a
+//! failure replays identically.
+//!
+//! The two invariants under test are the ones the paper's fault-tolerance
+//! story owes the serving layer: **no acknowledged feedback is ever
+//! lost**, and **no query ever observes a missing snapshot** (versions
+//! only move forward), no matter which epochs die around it.
+
+use gossiptrust::core::id::NodeId;
+use gossiptrust::serve::chaos::ChaosConfig;
+use gossiptrust::serve::service::{ReputationService, ServiceConfig, ServiceHandle};
+use gossiptrust::workloads::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const N: usize = 200;
+/// The fixed fault schedule: change it and the whole soak replays
+/// differently, so keep it stable to keep failures reproducible.
+const CHAOS_SEED: u64 = 4242;
+
+/// Scratch WAL directory under the harness-provided target tmpdir (no
+/// ambient entropy; unique per test binary invocation via process id).
+fn wal_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("gt-chaos-soak-{}", std::process::id()))
+}
+
+/// Flatten the raw local-trust rows to bit-exact `(rater, target, bits)`
+/// triples for whole-log comparison.
+fn flat_rows(h: &ServiceHandle) -> Vec<(usize, u32, u64)> {
+    h.raw_rows()
+        .iter()
+        .enumerate()
+        .flat_map(|(rater, row)| row.iter_raw().map(move |(id, amt)| (rater, id.0, amt.to_bits())))
+        .collect()
+}
+
+#[test]
+fn chaos_soak_loses_no_acked_feedback_and_always_serves_a_snapshot() {
+    let dir = wal_dir();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let service = ReputationService::start(
+        ServiceConfig::new(N)
+            .with_seed(CHAOS_SEED)
+            .with_ingest_queue(512)
+            .with_epoch_deadline(Duration::from_millis(25))
+            .with_wal_dir(&dir)
+            .with_chaos(ChaosConfig::soak(CHAOS_SEED)),
+    );
+    let handle = service.handle();
+
+    // Concurrent reader: a snapshot must be there on every query, and the
+    // published version must never go backwards — even while epochs are
+    // panicking and overrunning next door.
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader = {
+        let handle = service.handle();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut queries = 0u64;
+            let mut last_version = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let snap = handle.snapshot();
+                assert_eq!(snap.vector.n(), N, "query observed a missing snapshot");
+                assert!(
+                    snap.version >= last_version,
+                    "version went backwards: {} -> {}",
+                    last_version,
+                    snap.version
+                );
+                last_version = snap.version;
+                assert_eq!(handle.top_k(5).peers.len(), 5);
+                queries += 1;
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            queries
+        })
+    };
+
+    // Writers with retry-on-shed: every Ok is an acknowledgment the
+    // service is held to across the crash below.
+    let zipf = Zipf::new(N, 0.8);
+    let mut rng = StdRng::seed_from_u64(CHAOS_SEED ^ 0xACED);
+    let mut acked: Vec<(u32, u32, f64)> = Vec::new();
+    let mut sheds_seen = 0u64;
+    let (mut panics_seen, mut overruns_seen) = (0u64, 0u64);
+    let mut tally = |panicked: bool, overran: bool| {
+        panics_seen += u64::from(panicked);
+        overruns_seen += u64::from(overran);
+    };
+    for _round in 0..3 {
+        for rater in 0..N {
+            for _ in 0..3 {
+                let target = zipf.sample(&mut rng) - 1;
+                if target == rater {
+                    continue;
+                }
+                let score = 1.0 + rng.random::<f64>() * 4.0;
+                for attempt in 0..3 {
+                    match handle.record(
+                        NodeId::from_index(rater),
+                        NodeId::from_index(target),
+                        score,
+                    ) {
+                        Ok(()) => {
+                            acked.push((rater as u32, target as u32, score));
+                            break;
+                        }
+                        Err(e) if e.retriable() && attempt < 2 => {
+                            // An epoch folds the backlog — the drain a real
+                            // client's backoff would wait for.
+                            sheds_seen += 1;
+                            let o = handle.run_epoch_now().expect("epoch loop alive");
+                            tally(o.panicked, o.overran);
+                        }
+                        Err(e) => panic!("non-retriable record failure: {e}"),
+                    }
+                }
+            }
+        }
+        let o = handle.run_epoch_now().expect("epoch loop alive");
+        tally(o.panicked, o.overran);
+    }
+    stop.store(true, Ordering::Relaxed);
+    let queries = reader.join().expect("reader thread panicked");
+    assert!(queries > 0, "the reader must actually have queried");
+
+    // The degradation counters must equal the faults dealt and observed.
+    let stats = handle.stats_report();
+    let chaos = service.chaos_report().expect("chaos armed");
+    assert_eq!(stats.epochs_panicked, chaos.epochs_panicked);
+    // `>=`: every *injected* overrun (50 ms pause vs the 25 ms deadline) is
+    // abandoned, and a slow machine may add natural overruns on top.
+    assert!(stats.epochs_overrun >= chaos.epochs_overrun);
+    assert_eq!(stats.epochs_panicked, panics_seen);
+    assert_eq!(stats.epochs_overrun, overruns_seen);
+    assert_eq!(stats.requests_shed, sheds_seen);
+    assert_eq!(stats.wal_appended_records, acked.len() as u64);
+    service.shutdown();
+
+    // Crash: tear the WAL tail the way a kill -9 mid-append would, then
+    // restart and compare against a clean twin fed the ledger directly.
+    let wal_file = std::fs::read_dir(&dir)
+        .expect("wal dir")
+        .next()
+        .expect("wal file")
+        .expect("dir entry")
+        .path();
+    let mut bytes = std::fs::read(&wal_file).expect("read wal");
+    bytes.extend_from_slice(&[0xDE, 0xAD, 0xBE, 0xEF, 0x01]);
+    std::fs::write(&wal_file, &bytes).expect("tear tail");
+
+    let restarted =
+        ReputationService::start(ServiceConfig::new(N).with_seed(CHAOS_SEED).with_wal_dir(&dir));
+    let twin = ReputationService::start(ServiceConfig::new(N).with_seed(CHAOS_SEED));
+    let (rh, th) = (restarted.handle(), twin.handle());
+    for &(rater, target, score) in &acked {
+        th.record(NodeId(rater), NodeId(target), score).expect("twin ingest");
+    }
+
+    assert_eq!(rh.stats_report().wal_replayed_records, acked.len() as u64);
+    assert_eq!(rh.events_ingested(), acked.len() as u64, "zero lost acknowledged feedback");
+    assert_eq!(flat_rows(&rh), flat_rows(&th), "replayed rows differ from the twin's");
+
+    // And the epoch the replayed log folds into publishes the bit-identical
+    // snapshot the twin's does.
+    assert!(rh.run_epoch_now().expect("epoch").published);
+    assert!(th.run_epoch_now().expect("epoch").published);
+    let bits = |h: &ServiceHandle| -> Vec<u64> {
+        h.snapshot().vector.values().iter().map(|v| v.to_bits()).collect()
+    };
+    assert_eq!(bits(&rh), bits(&th), "replayed fold must aggregate bit-identically");
+
+    restarted.shutdown();
+    twin.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
