@@ -27,10 +27,10 @@ use gossiptrust_core::power_nodes::Prior;
 use gossiptrust_core::vector::ReputationVector;
 use gossiptrust_gossip::engine::{EngineConfig, VectorGossipEngine};
 use gossiptrust_gossip::UniformChooser;
+use gossiptrust_obs::Stopwatch;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
-use std::time::Instant;
 
 struct Sample {
     n: usize,
@@ -61,16 +61,16 @@ fn measure(n: usize, threads: usize, budget_ms: u64) -> Sample {
         black_box(engine.par_step(&UniformChooser, &mut rng));
     }
     // Size batches so one batch is ~1/10 of the budget but ≥ 1 step.
-    let probe = Instant::now();
+    let probe = Stopwatch::start();
     black_box(engine.par_step(&UniformChooser, &mut rng));
     let per_step = probe.elapsed().as_nanos().max(1) as u64;
     let batch = ((budget_ms * 100_000) / per_step).clamp(1, 10_000) as usize;
 
     let mut batches: Vec<f64> = Vec::new();
     let mut steps_timed = 0;
-    let started = Instant::now();
+    let started = Stopwatch::start();
     while started.elapsed().as_millis() < budget_ms as u128 || batches.len() < 3 {
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         for _ in 0..batch {
             black_box(engine.par_step(&UniformChooser, &mut rng));
         }

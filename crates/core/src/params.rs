@@ -104,24 +104,58 @@ pub fn network_size_override() -> Option<usize> {
     strict_positive_env("GT_N").map(|v| v as usize)
 }
 
+/// Strictly parse a socket-address environment knob.
+///
+/// Returns `None` when `name` is unset or empty, the trimmed address when
+/// it parses as a [`std::net::SocketAddr`], and **panics** on anything
+/// else — a malformed address must abort startup, not surface later as a
+/// confusing bind error.
+pub fn strict_addr_env(name: &str) -> Option<String> {
+    let raw = std::env::var(name).ok()?;
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return None;
+    }
+    if trimmed.parse::<std::net::SocketAddr>().is_err() {
+        panic!("{name} must be a socket address like 127.0.0.1:7401, got {raw:?}");
+    }
+    Some(trimmed.to_string())
+}
+
 /// `GT_SERVICE_ADDR`: the service's TCP listen address
 /// (default `127.0.0.1:7401`).
 ///
 /// # Panics
 /// Panics when `GT_SERVICE_ADDR` is set to something that does not parse
-/// as a socket address — a malformed address must abort startup, not
-/// surface later as a confusing bind error.
+/// as a socket address (see [`strict_addr_env`]).
 pub fn service_addr() -> String {
-    match std::env::var("GT_SERVICE_ADDR") {
-        Ok(raw) if !raw.trim().is_empty() => {
-            let trimmed = raw.trim();
-            if trimmed.parse::<std::net::SocketAddr>().is_err() {
-                panic!("GT_SERVICE_ADDR must be a socket address like 127.0.0.1:7401, got {raw:?}");
-            }
-            trimmed.to_string()
-        }
-        _ => "127.0.0.1:7401".to_string(),
-    }
+    strict_addr_env("GT_SERVICE_ADDR").unwrap_or_else(|| "127.0.0.1:7401".to_string())
+}
+
+/// `GT_METRICS_ADDR`: TCP listen address of the Prometheus scrape
+/// endpoint (default: unset = scrape listener off). When set, `serve`
+/// binds a second listener here that answers any HTTP request with the
+/// current metrics exposition — separate from the service port so a
+/// scraper never competes with request traffic for connection slots.
+///
+/// # Panics
+/// Panics when `GT_METRICS_ADDR` is set to something that does not parse
+/// as a socket address (see [`strict_addr_env`]).
+pub fn metrics_addr() -> Option<String> {
+    strict_addr_env("GT_METRICS_ADDR")
+}
+
+/// `GT_OBS_EVENTS`: capacity of the trace ring buffer, in events
+/// (default 4096). When full, the oldest events are evicted (and
+/// counted), so a scrape always sees the most recent spans.
+///
+/// # Panics
+/// Panics when `GT_OBS_EVENTS` is set to something other than a positive
+/// integer (see [`strict_positive_env`]).
+pub fn obs_events() -> usize {
+    strict_positive_env("GT_OBS_EVENTS")
+        .map(|v| v as usize)
+        .unwrap_or(4096)
 }
 
 /// `GT_CONN_LIMIT`: maximum concurrent TCP connections the service
@@ -525,6 +559,28 @@ mod tests {
         if std::env::var("GT_CHAOS_SEED").is_err() {
             assert_eq!(chaos_seed(), None);
         }
+        if std::env::var("GT_METRICS_ADDR").is_err() {
+            assert_eq!(metrics_addr(), None);
+        }
+        if std::env::var("GT_OBS_EVENTS").is_err() {
+            assert_eq!(obs_events(), 4096);
+        }
+    }
+
+    #[test]
+    fn strict_addr_env_accepts_socket_addrs() {
+        std::env::set_var("GT_TEST_ADDR_OK", " 0.0.0.0:9100 ");
+        assert_eq!(strict_addr_env("GT_TEST_ADDR_OK").as_deref(), Some("0.0.0.0:9100"));
+        assert_eq!(strict_addr_env("GT_TEST_ADDR_UNSET"), None);
+        std::env::set_var("GT_TEST_ADDR_EMPTY", "");
+        assert_eq!(strict_addr_env("GT_TEST_ADDR_EMPTY"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "GT_TEST_ADDR_BAD must be a socket address")]
+    fn strict_addr_env_panics_on_malformed_address() {
+        std::env::set_var("GT_TEST_ADDR_BAD", "localhost"); // no port, no IP
+        strict_addr_env("GT_TEST_ADDR_BAD");
     }
 
     #[test]

@@ -65,6 +65,6 @@ pub mod stats;
 
 pub use chooser::{ScriptedChooser, TargetChooser, UniformChooser};
 pub use cycle::{AggregationReport, CycleStats, GossipTrustAggregator, PriorPolicy};
-pub use engine::{EngineConfig, StepOutcome, VectorGossipEngine};
+pub use engine::{EngineConfig, EngineObs, StepOutcome, VectorGossipEngine};
 pub use pushsum::{PushSumNetwork, PushSumOutcome};
 pub use stats::GossipStats;

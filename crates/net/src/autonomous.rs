@@ -215,13 +215,16 @@ pub async fn run_autonomous<T: Transport>(
     drop(done_tx);
 
     let mut nodes = Vec::with_capacity(n);
-    let deadline = tokio::time::Instant::now() + config.deadline;
-    while nodes.len() < n {
-        match tokio::time::timeout_at(deadline, done_rx.recv()).await {
-            Ok(Some(report)) => nodes.push(report),
-            Ok(None) | Err(_) => break,
+    // One overall deadline for the collection loop, not per-recv.
+    let _ = tokio::time::timeout(config.deadline, async {
+        while nodes.len() < n {
+            match done_rx.recv().await {
+                Some(report) => nodes.push(report),
+                None => break,
+            }
         }
-    }
+    })
+    .await;
     for t in tasks {
         t.abort();
     }

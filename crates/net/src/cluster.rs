@@ -205,19 +205,23 @@ impl Cluster {
             // cycle, with a timeout backstop.
             let mut reported = vec![false; n];
             let mut count = 0usize;
-            let deadline = tokio::time::Instant::now() + self.config.cycle_timeout;
-            while count < n {
-                match tokio::time::timeout_at(deadline, converged_rx.recv()).await {
-                    Ok(Some((node, c))) if c == cycle => {
-                        if !reported[node as usize] {
-                            reported[node as usize] = true;
-                            count += 1;
+            // The whole barrier races one timeout (no per-recv deadline
+            // arithmetic — raw clock reads stay out of this crate).
+            let _ = tokio::time::timeout(self.config.cycle_timeout, async {
+                while count < n {
+                    match converged_rx.recv().await {
+                        Some((node, c)) if c == cycle => {
+                            if !reported[node as usize] {
+                                reported[node as usize] = true;
+                                count += 1;
+                            }
                         }
+                        Some(_) => {} // stale notification from a prior cycle
+                        None => break,
                     }
-                    Ok(Some(_)) => {} // stale notification from a prior cycle
-                    Ok(None) | Err(_) => break,
                 }
-            }
+            })
+            .await;
             // Collect estimates.
             let mut estimates = Vec::with_capacity(n);
             for tx in &ctrl_txs {

@@ -104,17 +104,19 @@ async fn tampered_pushes_are_rejected_and_gossip_survives() {
     }
     let mut reported = vec![false; n];
     let mut count = 0;
-    let deadline = tokio::time::Instant::now() + Duration::from_secs(60);
-    while count < n {
-        match tokio::time::timeout_at(deadline, converged_rx.recv()).await {
-            Ok(Some((node, 1))) if !reported[node as usize] => {
-                reported[node as usize] = true;
-                count += 1;
+    let _ = tokio::time::timeout(Duration::from_secs(60), async {
+        while count < n {
+            match converged_rx.recv().await {
+                Some((node, 1)) if !reported[node as usize] => {
+                    reported[node as usize] = true;
+                    count += 1;
+                }
+                Some(_) => {}
+                None => break,
             }
-            Ok(Some(_)) => {}
-            _ => break,
         }
-    }
+    })
+    .await;
     assert_eq!(count, n, "all nodes should converge despite tampering");
 
     // Collect estimates and stop.

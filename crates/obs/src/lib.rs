@@ -1,0 +1,37 @@
+//! # gossiptrust-obs
+//!
+//! Dependency-free observability for the GossipTrust workspace:
+//!
+//! * [`metrics`] — a lock-free metrics registry: monotonic [`Counter`]s,
+//!   [`Gauge`]s and log-bucketed latency [`Histogram`]s with
+//!   p50/p90/p99/max readout, rendered as Prometheus-compatible text
+//!   exposition. "Lock-free" in the honest sense: registration and
+//!   rendering take the registry lock, but every hot-path update lands on
+//!   a pre-fetched `Arc`'d atomic — recording a sample is a handful of
+//!   relaxed atomic ops and never blocks a scrape.
+//! * [`time`] — [`Stopwatch`] and [`Deadline`], the workspace's **only**
+//!   sanctioned clock surface. The `gt-lint` `time-source` rule forbids
+//!   `Instant::now` / `SystemTime::now` everywhere outside this crate, so
+//!   deterministic kernels can be audited for clock reads lexically:
+//!   timing flows through obs handles and can never feed back into
+//!   replayable computation.
+//! * [`trace`] — a lightweight span layer: a [`Tracer`] hands out
+//!   parent/child [`Span`]s whose start/end events land in a bounded ring
+//!   buffer, cheap enough to leave on. Span discipline is enforced: a
+//!   child span outliving its parent is a structural bug and panics
+//!   ("torn span") rather than silently producing unparseable traces.
+//!
+//! Everything here is deterministic-by-construction from the kernels'
+//! point of view: clocks are *read* but their values only ever flow into
+//! counters, histograms and trace events — never back into gossip state.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod time;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use time::{Deadline, Stopwatch};
+pub use trace::{EventKind, Span, TraceEvent, Tracer};

@@ -1,0 +1,93 @@
+//! The workspace's only sanctioned clock surface.
+//!
+//! Every wall/monotonic clock read in the workspace lives behind these two
+//! types; the `gt-lint` `time-source` rule rejects `Instant::now` and
+//! `SystemTime::now` tokens everywhere else. Keeping the clock behind a
+//! two-type API makes the determinism audit lexical: a kernel that never
+//! names `Stopwatch` or `Deadline` provably never reads time.
+
+use std::time::{Duration, Instant};
+
+/// A started monotonic timer. Construction is the clock read; elapsed
+/// queries read the clock again and subtract.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Stopwatch { start: Instant::now() }
+    }
+
+    /// Time since [`start`](Stopwatch::start).
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed nanoseconds, saturating at `u64::MAX` (≈ 584 years).
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Elapsed milliseconds as a float, for human-facing reports.
+    pub fn elapsed_ms_f64(&self) -> f64 {
+        self.elapsed().as_secs_f64() * 1e3
+    }
+}
+
+/// A fixed point in the future, for timeout/backoff bookkeeping.
+#[derive(Clone, Copy, Debug)]
+pub struct Deadline {
+    end: Instant,
+}
+
+impl Deadline {
+    /// A deadline `dur` from now.
+    pub fn after(dur: Duration) -> Self {
+        Deadline { end: Instant::now() + dur }
+    }
+
+    /// Has the deadline passed?
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.end
+    }
+
+    /// Will the deadline pass within the next `dur`? Used to decide
+    /// whether a planned sleep/backoff would overshoot the budget.
+    pub fn expires_within(&self, dur: Duration) -> bool {
+        Instant::now() + dur >= self.end
+    }
+
+    /// Time left until the deadline (zero once expired).
+    pub fn remaining(&self) -> Duration {
+        self.end.saturating_duration_since(Instant::now())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_is_monotone() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_ns();
+        std::thread::sleep(Duration::from_millis(2));
+        let b = sw.elapsed_ns();
+        assert!(b > a);
+        assert!(sw.elapsed_ms_f64() >= 2.0);
+    }
+
+    #[test]
+    fn deadline_expires_and_reports_remaining() {
+        let d = Deadline::after(Duration::from_millis(5));
+        assert!(!d.expired());
+        assert!(d.expires_within(Duration::from_secs(1)));
+        assert!(d.remaining() <= Duration::from_millis(5));
+        std::thread::sleep(Duration::from_millis(7));
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Duration::ZERO);
+    }
+}

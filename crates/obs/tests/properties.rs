@@ -1,0 +1,84 @@
+//! Property tests for the histogram bucket scheme: every sample must land
+//! in a bucket that contains it, readout must bound the true quantiles,
+//! and merge must be associative.
+
+use gossiptrust_obs::Histogram;
+use proptest::prelude::*;
+
+proptest! {
+    /// record → bucket → bounds round-trip: the bucket chosen for `v`
+    /// always contains `v`, and bucket indices are monotone in `v`.
+    #[test]
+    fn bucket_contains_its_sample(v in any::<u64>()) {
+        let i = Histogram::bucket_index(v);
+        let (lo, hi) = Histogram::bucket_bounds(i);
+        prop_assert!(lo <= v && v <= hi, "v={v} not in bucket {i} [{lo}, {hi}]");
+        if v > 0 {
+            prop_assert!(Histogram::bucket_index(v - 1) <= i);
+        }
+        if v < u64::MAX {
+            prop_assert!(Histogram::bucket_index(v + 1) >= i);
+        }
+    }
+
+    /// Bucket bounds tile the u64 line: bucket i+1 starts right after
+    /// bucket i ends.
+    #[test]
+    fn buckets_tile_without_gaps(i in 0usize..gossiptrust_obs::metrics::BUCKETS - 1) {
+        let (_, hi) = Histogram::bucket_bounds(i);
+        let (lo_next, _) = Histogram::bucket_bounds(i + 1);
+        prop_assert_eq!(hi + 1, lo_next);
+    }
+
+    /// Snapshot quantiles bracket the true quantiles: never below the
+    /// exact rank value, never more than one bucket width above, and
+    /// always clamped to the exact max.
+    #[test]
+    fn quantiles_bound_the_true_values(mut samples in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_unstable();
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, samples.len() as u64);
+        prop_assert_eq!(snap.max, *samples.last().expect("non-empty"));
+        for (q, got) in [(0.50, snap.p50), (0.90, snap.p90), (0.99, snap.p99)] {
+            let rank = ((samples.len() as f64 * q).ceil() as usize).clamp(1, samples.len());
+            let truth = samples[rank - 1];
+            let (_, hi) = Histogram::bucket_bounds(Histogram::bucket_index(truth));
+            prop_assert!(got >= truth, "q={q}: got {got} < true {truth}");
+            prop_assert!(got <= hi.min(snap.max), "q={q}: got {got} > bucket cap {hi}");
+        }
+    }
+
+    /// Merge associativity: (a ⊕ b) ⊕ c and a ⊕ (b ⊕ c) agree on every
+    /// bucket, and on count/sum/max.
+    #[test]
+    fn merge_is_associative(
+        a in prop::collection::vec(any::<u64>(), 0..50),
+        b in prop::collection::vec(any::<u64>(), 0..50),
+        c in prop::collection::vec(any::<u64>(), 0..50),
+    ) {
+        let fill = |vals: &[u64]| {
+            let h = Histogram::new();
+            for &v in vals {
+                // Keep sums away from u64 overflow; bucket logic still
+                // sees the full 64-bit range via the raw values above.
+                h.record(v >> 8);
+            }
+            h
+        };
+        let left = fill(&a);
+        left.absorb(&fill(&b));
+        left.absorb(&fill(&c));
+
+        let bc = fill(&b);
+        bc.absorb(&fill(&c));
+        let right = fill(&a);
+        right.absorb(&bc);
+
+        prop_assert_eq!(left.bucket_counts(), right.bucket_counts());
+        prop_assert_eq!(left.snapshot(), right.snapshot());
+    }
+}

@@ -76,5 +76,12 @@ fn main() {
     json.push('\n');
     std::fs::write("BENCH_service.json", &json).expect("write BENCH_service.json");
     println!("wrote BENCH_service.json");
+
+    // The full Prometheus exposition as measured during the run — the same
+    // text a live `GT_METRICS_ADDR` scrape would have returned; CI uploads
+    // it as an artifact next to the bench JSON.
+    std::fs::write("METRICS_service.prom", handle.metrics_text())
+        .expect("write METRICS_service.prom");
+    println!("wrote METRICS_service.prom");
     service.shutdown();
 }

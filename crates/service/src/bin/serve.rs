@@ -22,10 +22,13 @@
 //! * `GT_CHAOS_SEED` — arm the deterministic fault injector with this
 //!   seed (a chaos *drill* mode: epoch panics/overruns and response-frame
 //!   faults are injected on purpose; never set it in production)
+//! * `GT_METRICS_ADDR` — bind a Prometheus scrape listener here (default:
+//!   unset = no listener; the `metrics` verb on the main port always works)
+//! * `GT_OBS_EVENTS` — trace-event ring capacity (default 4096)
 
 use gossiptrust_core::params::{
-    chaos_seed, conn_limit, epoch_deadline_ms, ingest_queue, network_size_override,
-    read_timeout_ms, service_addr, wal_dir,
+    chaos_seed, conn_limit, epoch_deadline_ms, ingest_queue, metrics_addr, network_size_override,
+    obs_events, read_timeout_ms, service_addr, wal_dir,
 };
 use gossiptrust_serve::chaos::{ChaosConfig, ChaosInjector};
 use gossiptrust_serve::server::ServerConfig;
@@ -39,7 +42,8 @@ fn main() {
     let mut config = ServiceConfig::new(n)
         .with_epoch_interval_from_env(1_000)
         .with_ingest_queue(ingest_queue())
-        .with_epoch_deadline(Duration::from_millis(epoch_deadline_ms()));
+        .with_epoch_deadline(Duration::from_millis(epoch_deadline_ms()))
+        .with_obs_events(obs_events());
     if let Some(dir) = wal_dir() {
         config = config.with_wal_dir(dir);
     }
@@ -74,11 +78,23 @@ fn main() {
         .enable_all()
         .build()
         .expect("build tokio runtime");
-    let result = runtime.block_on(gossiptrust_serve::server::serve_with(
-        service.handle(),
-        &addr,
-        server_config,
-    ));
+    let scrape_addr = metrics_addr();
+    let scrape_handle = service.handle();
+    let serve_handle = service.handle();
+    let result = runtime.block_on(async move {
+        if let Some(scrape_addr) = scrape_addr {
+            println!("gossiptrust-serve: metrics scrape listener on {scrape_addr}");
+            tokio::spawn(async move {
+                let listener = tokio::net::TcpListener::bind(&scrape_addr)
+                    .await
+                    .expect("bind GT_METRICS_ADDR");
+                gossiptrust_serve::server::serve_metrics_on(scrape_handle, listener)
+                    .await
+                    .expect("metrics listener");
+            });
+        }
+        gossiptrust_serve::server::serve_with(serve_handle, &addr, server_config).await
+    });
     // serve() only returns on a bind/accept error; surface it and stop the
     // epoch loop cleanly.
     service.shutdown();

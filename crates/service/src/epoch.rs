@@ -24,6 +24,7 @@
 
 use crate::chaos::{ChaosInjector, EpochFault};
 use crate::log::FeedbackLog;
+use crate::obs::ServiceObs;
 use crate::snapshot::{ScoreSnapshot, SnapshotCell};
 use crate::stats::ServiceStats;
 use gossiptrust_core::params::Params;
@@ -31,12 +32,13 @@ use gossiptrust_gossip::cycle::GossipTrustAggregator;
 use gossiptrust_gossip::engine::{EngineConfig, VectorGossipEngine};
 use gossiptrust_gossip::stats::GossipStats;
 use gossiptrust_gossip::UniformChooser;
+use gossiptrust_obs::Stopwatch;
 use gossiptrust_storage::ranks::RankStorageConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Fibonacci-hash multiplier used to derive per-epoch RNG seeds.
 const SEED_MIX: u64 = 0x9E37_79B9_7F4A_7C15;
@@ -98,6 +100,11 @@ pub struct EpochManager {
     deadline: Option<Duration>,
     /// Seeded epoch-path fault injector (`None` = no injected faults).
     chaos: Option<Arc<ChaosInjector>>,
+    /// Observability bundle: one span per epoch (fold → aggregate →
+    /// publish children) plus per-phase histograms. Managers built with
+    /// [`new`](Self::new) get a detached bundle (nothing scrapes it);
+    /// [`with_obs`](Self::with_obs) swaps in the service-wide one.
+    obs: Arc<ServiceObs>,
 }
 
 impl EpochManager {
@@ -138,6 +145,7 @@ impl EpochManager {
             fail_epochs,
             deadline: None,
             chaos: None,
+            obs: Arc::new(ServiceObs::new(64)),
         }
     }
 
@@ -150,6 +158,14 @@ impl EpochManager {
     /// Builder-style setter: inject epoch-path faults from `chaos`.
     pub fn with_chaos(mut self, chaos: Arc<ChaosInjector>) -> Self {
         self.chaos = Some(chaos);
+        self
+    }
+
+    /// Builder-style setter: record into the shared observability bundle
+    /// and attach the gossip engine's step-timing hooks to its registry.
+    pub fn with_obs(mut self, obs: Arc<ServiceObs>) -> Self {
+        self.engine.set_obs(Some(obs.engine.clone()));
+        self.obs = obs;
         self
     }
 
@@ -169,7 +185,11 @@ impl EpochManager {
         self.epoch += 1;
         let epoch = self.epoch;
         self.stats.note_epoch_started();
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
+        // The epoch span: children (fold/aggregate/publish) open inside the
+        // watchdog body; an injected panic unwinds them cleanly (the
+        // torn-span guard stands down while panicking).
+        let span = self.obs.tracer.span("epoch");
         let seed = Self::epoch_seed(self.base_seed, epoch);
         let fault = self.chaos.as_ref().and_then(|c| c.epoch_fault());
 
@@ -184,10 +204,14 @@ impl EpochManager {
                 None => {}
             }
 
+            let fold_span = span.child("fold");
             let matrix = Arc::new(self.log.fold());
             let start = self.cell.load().vector.clone();
+            self.obs.epoch_fold_ns.record(fold_span.elapsed_ns());
+            drop(fold_span);
             let mut rng = StdRng::seed_from_u64(seed);
 
+            let aggregate_span = span.child("aggregate");
             let (report, delta) = if self.fail_epochs.contains(&epoch) {
                 // Injected failure: a throwaway aggregator whose gossip budget
                 // (2 steps) is below the engine's own min_steps floor, so no
@@ -213,10 +237,13 @@ impl EpochManager {
                 let delta = self.engine.stats().diff(&before);
                 (report, delta)
             };
+            self.obs.epoch_aggregate_ns.record(aggregate_span.elapsed_ns());
+            drop(aggregate_span);
             (matrix, start, report, delta)
         }));
 
-        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let wall_ms = t0.elapsed_ms_f64();
+        self.obs.epoch_total_ns.record(t0.elapsed_ns());
         let (matrix, start, report, delta) = match body {
             Ok(parts) => parts,
             Err(_) => {
@@ -224,6 +251,7 @@ impl EpochManager {
                 // half-stepped; a fresh engine is the only state we can
                 // trust. The previous snapshot keeps serving.
                 self.engine = VectorGossipEngine::new(self.log.n(), self.engine_config.clone());
+                self.engine.set_obs(Some(self.obs.engine.clone()));
                 self.stats.note_epoch_panicked(wall_ms);
                 return EpochOutcome {
                     epoch,
@@ -265,6 +293,7 @@ impl EpochManager {
         if healthy {
             #[cfg(feature = "invariants")]
             gossiptrust_core::invariants::check_row_stochastic(&matrix, "EpochManager::run_epoch");
+            let publish_span = span.child("publish");
             self.version += 1;
             self.cell.publish(ScoreSnapshot::from_vector(
                 self.version,
@@ -279,6 +308,8 @@ impl EpochManager {
                 report.converged,
                 wall_ms,
             ));
+            self.obs.epoch_publish_ns.record(publish_span.elapsed_ns());
+            drop(publish_span);
             #[cfg(feature = "invariants")]
             self.verify_replay();
         }
@@ -534,6 +565,53 @@ mod tests {
         mgr.chaos = None;
         assert!(mgr.run_epoch().published);
         assert_eq!(cell.load().version, 1);
+    }
+
+    #[test]
+    fn epochs_emit_spans_and_phase_timings() {
+        use gossiptrust_obs::trace::EventKind;
+        let (log, _cell, _stats, mgr) = setup(24, vec![]);
+        let obs = Arc::new(ServiceObs::new(256));
+        let mut mgr = mgr.with_obs(Arc::clone(&obs));
+        ring_feedback(&log, 24);
+        assert!(mgr.run_epoch().published);
+        let events = obs.tracer.events();
+        let starts: Vec<_> = events.iter().filter(|e| e.kind == EventKind::Start).collect();
+        let epoch_id = starts.iter().find(|e| e.name == "epoch").expect("epoch span").span_id;
+        for phase in ["fold", "aggregate", "publish"] {
+            let child = starts
+                .iter()
+                .find(|e| e.name == phase)
+                .unwrap_or_else(|| panic!("published epoch must emit a {phase} child span"));
+            assert_eq!(child.parent_id, epoch_id, "{phase} must be a child of the epoch span");
+        }
+        assert_eq!(obs.epoch_fold_ns.count(), 1);
+        assert_eq!(obs.epoch_aggregate_ns.count(), 1);
+        assert_eq!(obs.epoch_publish_ns.count(), 1);
+        assert_eq!(obs.epoch_total_ns.count(), 1);
+        assert!(obs.engine.step_ns.count() > 0, "engine hooks must be attached via with_obs");
+        // Aggregate dominates the epoch; its histogram must say so.
+        assert!(obs.epoch_total_ns.max() >= obs.epoch_aggregate_ns.max());
+    }
+
+    #[test]
+    fn contained_panic_leaves_no_torn_spans() {
+        use crate::chaos::{ChaosConfig, ChaosInjector};
+        use gossiptrust_obs::trace::EventKind;
+        let (log, _cell, _stats, mgr) = setup(24, vec![]);
+        let obs = Arc::new(ServiceObs::new(256));
+        let chaos = Arc::new(ChaosInjector::new(ChaosConfig {
+            epoch_panic_per_mille: 1000,
+            ..ChaosConfig::disabled(9)
+        }));
+        let mut mgr = mgr.with_obs(Arc::clone(&obs)).with_chaos(chaos);
+        ring_feedback(&log, 24);
+        assert!(mgr.run_epoch().panicked);
+        // The watchdog epoch still closes its span; every Start has an End.
+        let events = obs.tracer.events();
+        let starts = events.iter().filter(|e| e.kind == EventKind::Start).count();
+        let ends = events.iter().filter(|e| e.kind == EventKind::End).count();
+        assert_eq!(starts, ends, "spans must balance even through a contained panic");
     }
 
     #[test]

@@ -62,6 +62,11 @@
 //! * [`loadgen`] — a Zipf query-mix load generator (the `loadgen` bin)
 //!   writing `BENCH_service.json`; retries shed/overloaded requests with
 //!   decorrelated-jitter backoff under a per-request deadline budget.
+//! * [`obs`] — the [`obs::ServiceObs`] bundle from `gossiptrust-obs`: one
+//!   shared metrics registry + span tracer recording query/ingest/request
+//!   latencies, per-phase epoch timing, WAL fsync timing and the gossip
+//!   engine's step hooks, scraped via the `metrics` verb or the
+//!   `GT_METRICS_ADDR` listener as Prometheus text.
 //!
 //! ## Concurrency contract
 //!
@@ -83,6 +88,7 @@ pub mod epoch;
 pub mod json;
 pub mod loadgen;
 pub mod log;
+pub mod obs;
 pub mod server;
 pub mod service;
 pub mod snapshot;
@@ -92,7 +98,8 @@ pub mod wal;
 pub use chaos::{ChaosConfig, ChaosInjector, ChaosReport};
 pub use epoch::EpochOutcome;
 pub use log::{FeedbackEvent, FeedbackLog};
-pub use server::serve;
+pub use obs::ServiceObs;
+pub use server::{serve, serve_metrics_on};
 pub use service::{
     RankView, ReputationService, ScoreView, ServeError, ServiceConfig, ServiceHandle, TopKView,
 };

@@ -12,10 +12,11 @@
 use crate::service::ServiceHandle;
 use crate::stats::StatsReport;
 use gossiptrust_core::id::NodeId;
+use gossiptrust_obs::{Deadline, HistogramSnapshot, Stopwatch};
 use gossiptrust_workloads::Zipf;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Load-run configuration.
 #[derive(Clone, Debug)]
@@ -90,14 +91,23 @@ pub struct LoadReport {
     pub gave_up: usize,
     /// Service counters at the end of the run.
     pub stats: StatsReport,
+    /// Bucketed query-latency snapshot (ns) from the service's obs
+    /// registry — the same histogram the `metrics` verb exposes, so the
+    /// bench file and a live scrape agree on what was measured.
+    pub query_hist: HistogramSnapshot,
+    /// Bucketed ingest-latency snapshot (ns) from the obs registry.
+    pub ingest_hist: HistogramSnapshot,
 }
 
 /// Drive `config.queries` operations against `handle`, measuring latency.
 ///
-/// Latency is measured per read query with `Instant`; the percentile
-/// extraction sorts the raw samples (no histogram bucketing error).
+/// Latency is measured per read query with an obs [`Stopwatch`]; the
+/// percentile extraction sorts the raw samples (no histogram bucketing
+/// error), while the service's own registry histograms are snapshotted
+/// into the report for the bucketed view.
 pub fn run(handle: &ServiceHandle, config: &LoadConfig) -> LoadReport {
     let n = handle.n();
+    let obs = handle.obs();
     let zipf = Zipf::new(n, config.zipf_exponent);
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut latencies_us: Vec<f64> = Vec::with_capacity(config.queries);
@@ -106,7 +116,7 @@ pub fn run(handle: &ServiceHandle, config: &LoadConfig) -> LoadReport {
     let mut gave_up = 0usize;
     let mut epochs = 0usize;
     let mut epoch_wall_ms_total = 0.0;
-    let started = Instant::now();
+    let started = Stopwatch::start();
     let mut issued = 0usize;
     let mut ops = 0usize;
 
@@ -127,12 +137,12 @@ pub fn run(handle: &ServiceHandle, config: &LoadConfig) -> LoadReport {
             // Retriable sheds are retried with decorrelated-jitter backoff
             // until the per-request budget runs out; anything else is
             // final on the first answer.
-            let deadline = Instant::now() + Duration::from_micros(config.request_budget_us);
+            let deadline = Deadline::after(Duration::from_micros(config.request_budget_us));
             let mut backoff_us = config.retry_base_us;
             loop {
                 match handle.record(peer, target, 1.0) {
                     Err(e) if e.retriable() => {
-                        if Instant::now() + Duration::from_micros(backoff_us) >= deadline {
+                        if deadline.expires_within(Duration::from_micros(backoff_us)) {
                             gave_up += 1;
                             break;
                         }
@@ -144,6 +154,7 @@ pub fn run(handle: &ServiceHandle, config: &LoadConfig) -> LoadReport {
                             backoff_us,
                         );
                         retries += 1;
+                        obs.ingest_retries.inc();
                     }
                     _ => break,
                 }
@@ -151,7 +162,7 @@ pub fn run(handle: &ServiceHandle, config: &LoadConfig) -> LoadReport {
             writes += 1;
             continue;
         }
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         match issued % 3 {
             0 => {
                 let _ = handle.get_score(peer);
@@ -196,7 +207,25 @@ pub fn run(handle: &ServiceHandle, config: &LoadConfig) -> LoadReport {
         retries,
         gave_up,
         stats: handle.stats_report(),
+        query_hist: obs.query_ns.snapshot(),
+        ingest_hist: obs.ingest_ns.snapshot(),
     }
+}
+
+/// Append one histogram snapshot as flat `hist_<name>_{p50,p90,p99,max}_us`
+/// keys (the snapshot records nanoseconds; the bench file speaks µs like
+/// the sampled percentiles). Flat keys keep the document parseable by
+/// [`crate::json::parse_flat`], which `baseline_delta` relies on.
+fn hist_fields(
+    obj: crate::json::JsonObj,
+    name: &str,
+    h: &HistogramSnapshot,
+) -> crate::json::JsonObj {
+    obj.num(&format!("hist_{name}_p50_us"), h.p50 as f64 / 1e3)
+        .num(&format!("hist_{name}_p90_us"), h.p90 as f64 / 1e3)
+        .num(&format!("hist_{name}_p99_us"), h.p99 as f64 / 1e3)
+        .num(&format!("hist_{name}_max_us"), h.max as f64 / 1e3)
+        .int(&format!("hist_{name}_count"), h.count)
 }
 
 /// Render a [`LoadReport`] as the `BENCH_service.json` document.
@@ -205,7 +234,7 @@ pub fn run(handle: &ServiceHandle, config: &LoadConfig) -> LoadReport {
 /// benchmark files stay comparable machine-to-machine.
 pub fn report_json(report: &LoadReport, n: usize, cores: usize, quick: bool) -> String {
     use crate::json::JsonObj;
-    JsonObj::new()
+    let obj = JsonObj::new()
         .str("bench", "service_queries")
         .bool("quick", quick)
         .int("cores", cores as u64)
@@ -227,8 +256,9 @@ pub fn report_json(report: &LoadReport, n: usize, cores: usize, quick: bool) -> 
         .int("requests_shed", report.stats.requests_shed)
         .int("conns_rejected", report.stats.conns_rejected)
         .int("conns_timed_out", report.stats.conns_timed_out)
-        .int("wal_replayed_records", report.stats.wal_replayed_records)
-        .finish()
+        .int("wal_replayed_records", report.stats.wal_replayed_records);
+    let obj = hist_fields(obj, "query", &report.query_hist);
+    hist_fields(obj, "ingest", &report.ingest_hist).finish()
 }
 
 #[cfg(test)]
@@ -264,6 +294,13 @@ mod tests {
         assert_eq!(json::get_str(&obj, "bench"), Some("service_queries"));
         assert_eq!(json::get_index(&obj, "retries"), Some(report.retries as u32));
         assert_eq!(json::get_index(&obj, "requests_shed"), Some(0));
+        // The bucketed registry view rides along as flat keys.
+        assert_eq!(json::get_index(&obj, "hist_query_count"), Some(300));
+        let p50 = json::get_num(&obj, "hist_query_p50_us").expect("hist p50");
+        let p99 = json::get_num(&obj, "hist_query_p99_us").expect("hist p99");
+        let max = json::get_num(&obj, "hist_query_max_us").expect("hist max");
+        assert!(p50 <= p99 && p99 <= max, "percentiles are ordered: {p50} {p99} {max}");
+        assert!(json::get_index(&obj, "hist_ingest_count").expect("ingest count") > 0);
         service.shutdown();
     }
 

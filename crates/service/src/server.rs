@@ -13,6 +13,7 @@
 //! | `{"op":"feedback","rater":R,"target":T,"score":S}`           | `events`                                          |
 //! | `{"op":"batch","data":"<hex>"}`                              | `accepted`, `events`                              |
 //! | `{"op":"epoch"}`                                             | `epoch`, `published`, `live_version`, `cycles`, `wall_ms` |
+//! | `{"op":"metrics"}`                                           | `metrics` (Prometheus text exposition, escaped)   |
 //!
 //! Every response carries `"ok": true`; failures are
 //! `{"ok":false,"error":"..."}` and keep the connection open — one bad
@@ -37,6 +38,7 @@ use crate::json::{self, JsonObj};
 use crate::service::{ServeError, ServiceHandle};
 use gossiptrust_core::id::NodeId;
 use gossiptrust_net::codec::FeedbackBatch;
+use gossiptrust_obs::Stopwatch;
 use std::fmt::Write as _;
 use std::io;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -142,6 +144,57 @@ pub async fn serve_on_with(
     }
 }
 
+/// Serve the Prometheus scrape endpoint on an already-bound listener
+/// (the `serve` bin wires `GT_METRICS_ADDR` in; unset = no listener).
+///
+/// Deliberately minimal HTTP: every request — whatever the path — is
+/// answered with `200 OK`, `text/plain; version=0.0.4` and the full
+/// [`ServiceHandle::metrics_text`] exposition, then the connection is
+/// closed. A scrape endpoint has exactly one resource, so routing and
+/// content negotiation would be dead weight; anything that speaks
+/// HTTP/1.x (curl, a Prometheus scraper) gets the text.
+pub async fn serve_metrics_on(handle: ServiceHandle, listener: TcpListener) -> io::Result<()> {
+    loop {
+        let (stream, _peer) = listener.accept().await?;
+        let handle = handle.clone();
+        tokio::spawn(async move {
+            let _ = scrape_connection(handle, stream).await;
+        });
+    }
+}
+
+/// Read one HTTP request head (contents ignored), answer with the
+/// exposition, close. Headers are drained up to the blank separator so
+/// well-behaved clients never see a reset mid-request; a client that
+/// stalls mid-head is reaped by the read deadline.
+async fn scrape_connection(handle: ServiceHandle, stream: TcpStream) -> io::Result<()> {
+    let (read_half, mut write_half) = stream.into_split();
+    let mut reader = BufReader::new(read_half);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = tokio::time::timeout(Duration::from_millis(5_000), reader.read_line(&mut line))
+            .await
+            .map_err(|_| io::Error::new(io::ErrorKind::TimedOut, "scrape header stalled"))??;
+        if n == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let body = handle.metrics_text();
+    let mut head = String::new();
+    let _ = write!(
+        head,
+        "HTTP/1.1 200 OK\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n",
+        body.len()
+    );
+    write_half.write_all(head.as_bytes()).await?;
+    write_half.write_all(body.as_bytes()).await?;
+    write_half.shutdown().await
+}
+
 async fn handle_connection(
     handle: ServiceHandle,
     stream: TcpStream,
@@ -150,6 +203,7 @@ async fn handle_connection(
     let (read_half, mut write_half) = stream.into_split();
     let mut reader = BufReader::new(read_half);
     let mut line = Vec::new();
+    let request_ns = Arc::clone(&handle.obs().request_ns);
     loop {
         let read = tokio::time::timeout(
             config.read_timeout,
@@ -177,7 +231,9 @@ async fn handle_connection(
             Ok(Ok(true)) => {}
         }
         let request = String::from_utf8_lossy(&line).into_owned();
+        let sw = Stopwatch::start();
         let mut response = respond(&handle, &request).await;
+        request_ns.record(sw.elapsed_ns());
         response.push('\n');
         if !write_response(&mut write_half, response.as_bytes(), config.chaos.as_deref()).await? {
             return Ok(());
@@ -361,6 +417,12 @@ fn respond_sync(handle: &ServiceHandle, op: &str, obj: &json::FlatObject) -> Str
                 .raw("peers", &peers)
                 .finish()
         }
+        // The full Prometheus exposition, escaped into one JSON string —
+        // same text the GT_METRICS_ADDR scrape listener serves.
+        "metrics" => JsonObj::new()
+            .bool("ok", true)
+            .str("metrics", &handle.metrics_text())
+            .finish(),
         "stats" => {
             let report = handle.stats_report();
             JsonObj::new()
@@ -678,6 +740,73 @@ mod tests {
         assert!(served, "a freed slot must admit a retrying client");
 
         server.abort();
+        service.shutdown();
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+    async fn metrics_verb_returns_the_exposition() {
+        let service = start_ring(8);
+        let listener = TcpListener::bind("127.0.0.1:0").await.expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = tokio::spawn(serve_on(service.handle(), listener));
+
+        let mut stream = TcpStream::connect(addr).await.expect("connect");
+        assert!(is_ok(&request(&mut stream, "{\"op\":\"epoch\"}").await));
+        assert!(is_ok(&request(&mut stream, "{\"op\":\"score\",\"peer\":3}").await));
+        let reply = request(&mut stream, "{\"op\":\"metrics\"}").await;
+        assert!(is_ok(&reply));
+        let text = json::get_str(&reply, "metrics").expect("metrics field");
+        for name in [
+            "gt_request_latency_ns",
+            "gt_query_latency_ns",
+            "gt_ingest_latency_ns",
+            "gt_epoch_fold_ns",
+            "gt_epochs_published_total",
+            "gt_requests_shed_total",
+        ] {
+            assert!(text.contains(name), "exposition is missing {name}:\n{text}");
+        }
+        // The epoch and query above must already show up in the histograms.
+        assert!(text.contains("gt_query_latency_ns_count 1"), "query was timed:\n{text}");
+        assert!(text.contains("gt_epochs_published_total 1"), "epoch was counted:\n{text}");
+
+        server.abort();
+        service.shutdown();
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+    async fn scrape_listener_speaks_enough_http() {
+        let service = start_ring(8);
+        let listener = TcpListener::bind("127.0.0.1:0").await.expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let scraper = tokio::spawn(serve_metrics_on(service.handle(), listener));
+        service.handle().run_epoch_now().expect("epoch runs");
+
+        let mut stream = TcpStream::connect(addr).await.expect("connect");
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\nAccept: */*\r\n\r\n")
+            .await
+            .expect("write request");
+        let mut raw = Vec::new();
+        tokio::time::timeout(Duration::from_secs(5), stream.read_to_end(&mut raw))
+            .await
+            .expect("scrape must answer promptly")
+            .expect("read");
+        let response = String::from_utf8(raw).expect("utf-8");
+        let (head, body) = response.split_once("\r\n\r\n").expect("header separator");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "status line: {head}");
+        assert!(head.contains("text/plain; version=0.0.4"), "content type: {head}");
+        let advertised: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("content length")
+            .parse()
+            .expect("numeric length");
+        assert_eq!(advertised, body.len(), "Content-Length matches the body");
+        assert!(body.contains("gt_epoch_fold_ns"), "exposition body:\n{body}");
+        assert!(body.contains("gt_wal_fsync_ns"), "exposition body:\n{body}");
+
+        scraper.abort();
         service.shutdown();
     }
 

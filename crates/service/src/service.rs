@@ -14,11 +14,13 @@
 use crate::chaos::{ChaosConfig, ChaosInjector, ChaosReport};
 use crate::epoch::{EpochCommand, EpochManager, EpochOutcome};
 use crate::log::{FeedbackEvent, FeedbackLog};
+use crate::obs::ServiceObs;
 use crate::snapshot::{ScoreSnapshot, SnapshotCell};
 use crate::stats::{ServiceStats, StatsReport};
 use crate::wal::Wal;
 use gossiptrust_core::id::NodeId;
 use gossiptrust_core::params::Params;
+use gossiptrust_obs::Stopwatch;
 use gossiptrust_storage::ranks::RankStorageConfig;
 use std::fmt;
 use std::path::PathBuf;
@@ -57,6 +59,9 @@ pub struct ServiceConfig {
     /// Seeded fault injection for the epoch path (`GT_CHAOS_SEED` arms the
     /// soak mix in the serve binary); `None` = no injected faults.
     pub chaos: Option<ChaosConfig>,
+    /// Capacity of the observability trace ring, in events
+    /// (`GT_OBS_EVENTS`).
+    pub obs_events: usize,
 }
 
 impl ServiceConfig {
@@ -74,6 +79,7 @@ impl ServiceConfig {
             wal_dir: None,
             epoch_deadline: None,
             chaos: None,
+            obs_events: 4096,
         }
     }
 
@@ -112,6 +118,12 @@ impl ServiceConfig {
     /// Builder-style setter for epoch-path fault injection.
     pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
         self.chaos = Some(chaos);
+        self
+    }
+
+    /// Builder-style setter for the trace-ring capacity.
+    pub fn with_obs_events(mut self, events: usize) -> Self {
+        self.obs_events = events;
         self
     }
 }
@@ -220,6 +232,12 @@ pub struct ServiceHandle {
     wal: Option<Arc<Mutex<Wal>>>,
     /// Admission-gate bound on `log.pending_events()`.
     ingest_capacity: u64,
+    /// Shared observability bundle — same registry the epoch loop and the
+    /// gossip engine record into.
+    obs: Arc<ServiceObs>,
+    /// Chaos injector handle, so a metrics scrape can include the fault
+    /// counters (`None` = chaos off, counters export as zeros).
+    chaos: Option<Arc<ChaosInjector>>,
 }
 
 impl ServiceHandle {
@@ -255,22 +273,27 @@ impl ServiceHandle {
     /// at capacity. With a WAL configured, the event is durable before the
     /// `Ok` acknowledgment.
     pub fn record(&self, rater: NodeId, target: NodeId, score: f64) -> Result<(), ServeError> {
+        let sw = Stopwatch::start();
         self.check_peer(rater)?;
         self.check_peer(target)?;
         self.admit()?;
         let event = FeedbackEvent { rater, target, score };
         if let Some(wal) = &self.wal {
             let mut wal = wal.lock().expect("WAL lock poisoned");
+            let fsync = Stopwatch::start();
             wal.append(&event).map_err(|e| ServeError::Wal(e.to_string()))?;
+            self.obs.wal_fsync_ns.record(fsync.elapsed_ns());
             self.stats.note_wal_appended(1);
         }
         self.log.record(event);
+        self.obs.ingest_ns.record(sw.elapsed_ns());
         Ok(())
     }
 
     /// Ingest a batch of ratings from one rater (one shard lock, one WAL
     /// write). Admission is checked once for the whole batch.
     pub fn record_batch(&self, rater: NodeId, ratings: &[(NodeId, f64)]) -> Result<(), ServeError> {
+        let sw = Stopwatch::start();
         self.check_peer(rater)?;
         for &(target, _) in ratings {
             self.check_peer(target)?;
@@ -278,11 +301,14 @@ impl ServiceHandle {
         self.admit()?;
         if let Some(wal) = &self.wal {
             let mut wal = wal.lock().expect("WAL lock poisoned");
+            let fsync = Stopwatch::start();
             wal.append_batch(rater, ratings)
                 .map_err(|e| ServeError::Wal(e.to_string()))?;
+            self.obs.wal_fsync_ns.record(fsync.elapsed_ns());
             self.stats.note_wal_appended(ratings.len() as u64);
         }
         self.log.record_batch(rater, ratings);
+        self.obs.ingest_ns.record(sw.elapsed_ns());
         Ok(())
     }
 
@@ -293,20 +319,24 @@ impl ServiceHandle {
 
     /// Look up one peer's score in the latest snapshot.
     pub fn get_score(&self, peer: NodeId) -> Result<ScoreView, ServeError> {
+        let sw = Stopwatch::start();
         self.check_peer(peer)?;
         let snap = self.cell.load();
         self.stats.note_query();
-        Ok(ScoreView {
+        let view = ScoreView {
             peer,
             score: snap.vector.score(peer),
             version: snap.version,
             epoch: snap.epoch,
-        })
+        };
+        self.obs.query_ns.record(sw.elapsed_ns());
+        Ok(view)
     }
 
     /// The top-`k` peers by score in the latest snapshot (`k` is clamped
     /// to the population size).
     pub fn top_k(&self, k: usize) -> TopKView {
+        let sw = Stopwatch::start();
         let snap = self.cell.load();
         self.stats.note_query();
         let peers = snap
@@ -315,21 +345,26 @@ impl ServiceHandle {
             .take(k)
             .map(|&id| (id, snap.vector.score(id)))
             .collect();
-        TopKView { peers, version: snap.version }
+        let view = TopKView { peers, version: snap.version };
+        self.obs.query_ns.record(sw.elapsed_ns());
+        view
     }
 
     /// One peer's exact rank and Bloom rank level in the latest snapshot.
     pub fn rank_of(&self, peer: NodeId) -> Result<RankView, ServeError> {
+        let sw = Stopwatch::start();
         self.check_peer(peer)?;
         let snap = self.cell.load();
         self.stats.note_query();
-        Ok(RankView {
+        let view = RankView {
             peer,
             exact_rank: snap.exact_rank(peer),
             bloom_level: snap.bloom_rank_level(peer),
             levels: snap.ranks.levels(),
             version: snap.version,
-        })
+        };
+        self.obs.query_ns.record(sw.elapsed_ns());
+        Ok(view)
     }
 
     /// Current service counters.
@@ -357,6 +392,18 @@ impl ServiceHandle {
     /// counters).
     pub(crate) fn service_stats(&self) -> Arc<ServiceStats> {
         Arc::clone(&self.stats)
+    }
+
+    /// The shared observability bundle (registry + tracer + handles).
+    pub fn obs(&self) -> Arc<ServiceObs> {
+        Arc::clone(&self.obs)
+    }
+
+    /// The full Prometheus text exposition of this service right now:
+    /// every registry metric plus the [`StatsReport`] and chaos counters.
+    pub fn metrics_text(&self) -> String {
+        let chaos = self.chaos.as_ref().map(|c| c.report());
+        self.obs.export(&self.stats.report(), chaos.as_ref())
     }
 
     /// Run one epoch immediately and wait for its outcome.
@@ -414,6 +461,7 @@ impl ReputationService {
             Arc::new(Mutex::new(wal))
         });
         let chaos = config.chaos.map(|c| Arc::new(ChaosInjector::new(c)));
+        let obs = Arc::new(ServiceObs::new(config.obs_events));
         let mut manager = EpochManager::new(
             Arc::clone(&log),
             Arc::clone(&cell),
@@ -422,7 +470,8 @@ impl ReputationService {
             config.rank_config,
             config.base_seed,
             config.fail_epochs,
-        );
+        )
+        .with_obs(Arc::clone(&obs));
         if let Some(deadline) = config.epoch_deadline {
             manager = manager.with_deadline(deadline);
         }
@@ -442,6 +491,8 @@ impl ReputationService {
             commands: tx.clone(),
             wal,
             ingest_capacity: config.ingest_queue.max(1) as u64,
+            obs,
+            chaos: chaos.clone(),
         };
         ReputationService { handle, commands: tx, worker: Some(worker), chaos }
     }

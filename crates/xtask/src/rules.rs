@@ -16,8 +16,12 @@
 //! |                 | order would silently break replayability             |
 //! | `forbid-unsafe` | every crate root carries `#![forbid(unsafe_code)]`   |
 //! | `entropy`       | no ambient entropy (`thread_rng`, `rand::rng()`,     |
-//! |                 | `from_entropy`, `from_os_rng`, `SystemTime::now`)    |
-//! |                 | outside designated seeding/bench modules             |
+//! |                 | `from_entropy`, `from_os_rng`) outside designated    |
+//! |                 | seeding/bench modules                                |
+//! | `time-source`   | no raw clock reads (`Instant::now`,                  |
+//! |                 | `SystemTime::now`) outside `crates/obs` — all timing |
+//! |                 | goes through `Stopwatch`/`Deadline`, so the          |
+//! |                 | determinism audit for clock reads stays lexical      |
 
 use crate::lexer::{Token, TokenKind};
 
@@ -28,6 +32,7 @@ pub const RULE_NAMES: &[&str] = &[
     "hash-iter",
     "forbid-unsafe",
     "entropy",
+    "time-source",
 ];
 
 /// One finding: rule, location, human-readable detail.
@@ -52,6 +57,9 @@ pub struct FileRole {
     pub is_kernel: bool,
     /// A crate root that must carry `#![forbid(unsafe_code)]`.
     pub is_crate_root: bool,
+    /// Inside `crates/obs` — the one sanctioned clock surface, exempt
+    /// from `time-source`.
+    pub is_clock_surface: bool,
 }
 
 /// Classify `rel` (a `/`-separated repo-relative path).
@@ -66,7 +74,8 @@ pub fn classify(rel: &str) -> FileRole {
         || rel == "crates/service/src/epoch.rs";
     let is_crate_root =
         rel == "src/lib.rs" || (rel.starts_with("crates/") && rel.ends_with("/src/lib.rs"));
-    FileRole { is_test_file, is_kernel, is_crate_root }
+    let is_clock_surface = rel.starts_with("crates/obs/");
+    FileRole { is_test_file, is_kernel, is_crate_root, is_clock_surface }
 }
 
 /// Run every applicable rule over one tokenized file.
@@ -84,6 +93,9 @@ pub fn check_file(rel: &str, tokens: &[Token], role: FileRole) -> Vec<Violation>
         forbid_unsafe(rel, tokens, &mut out);
     }
     entropy(rel, tokens, &mut out);
+    if !role.is_clock_surface {
+        time_source(rel, tokens, &mut out);
+    }
     out
 }
 
@@ -374,12 +386,6 @@ fn entropy(rel: &str, tokens: &[Token], out: &mut Vec<Violation>) {
             || t.is_ident("from_os_rng")
         {
             Some(t.text.clone())
-        } else if t.is_ident("SystemTime")
-            && i + 2 < tokens.len()
-            && tokens[i + 1].is_punct("::")
-            && tokens[i + 2].is_ident("now")
-        {
-            Some("SystemTime::now".to_string())
         } else if t.is_ident("rand")
             && i + 2 < tokens.len()
             && tokens[i + 1].is_punct("::")
@@ -397,6 +403,32 @@ fn entropy(rel: &str, tokens: &[Token], out: &mut Vec<Violation>) {
                 message: format!(
                     "ambient entropy source `{what}` — take a caller-supplied seeded RNG \
                      (or waive for a designated seeding/bench module)"
+                ),
+            });
+        }
+    }
+}
+
+/// Rule `time-source`: raw wall/monotonic clock reads (`Instant::now`,
+/// `SystemTime::now`) anywhere outside `crates/obs`. The obs crate's
+/// `Stopwatch`/`Deadline` are the only sanctioned clock surface, which
+/// keeps the "does this code read time?" audit lexical — a module that
+/// never names those types provably never reads the clock.
+fn time_source(rel: &str, tokens: &[Token], out: &mut Vec<Violation>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if (t.is_ident("Instant") || t.is_ident("SystemTime"))
+            && i + 2 < tokens.len()
+            && tokens[i + 1].is_punct("::")
+            && tokens[i + 2].is_ident("now")
+        {
+            out.push(Violation {
+                rule: "time-source",
+                path: rel.to_string(),
+                line: t.line,
+                message: format!(
+                    "raw `{}::now` clock read — use `gossiptrust_obs::Stopwatch`/`Deadline` \
+                     (the obs crate is the only sanctioned clock surface)",
+                    t.text
                 ),
             });
         }
@@ -512,16 +544,36 @@ mod tests {
             "fn f() { let mut r = rand::rng(); }",
             "fn f() { let r = StdRng::from_entropy(); }",
             "fn f() { let r = StdRng::from_os_rng(); }",
-            "fn f() { let t = std::time::SystemTime::now(); }",
         ] {
             let v = run(PLAIN, src);
             assert_eq!(v.len(), 1, "expected 1 violation for {src}");
             assert_eq!(v[0].rule, "entropy");
         }
-        // Instant::now is timing, not entropy.
-        assert!(run(PLAIN, "fn f() { let t = std::time::Instant::now(); }").is_empty());
         // Seeded construction is the sanctioned path.
         assert!(run(PLAIN, "fn f() { let r = StdRng::seed_from_u64(7); }").is_empty());
+    }
+
+    #[test]
+    fn time_source_flags_raw_clock_reads_outside_obs() {
+        for src in [
+            "fn f() { let t = std::time::Instant::now(); }",
+            "fn f() { let t = tokio::time::Instant::now(); }",
+            "fn f() { let t = std::time::SystemTime::now(); }",
+        ] {
+            let v = run(PLAIN, src);
+            assert_eq!(v.len(), 1, "expected 1 violation for {src}");
+            assert_eq!(v[0].rule, "time-source");
+            assert!(v[0].message.contains("Stopwatch"));
+        }
+        // The rule applies inside test modules and test files too — a
+        // flaky sleep-and-check in a test is still a clock read.
+        let in_tests = "#[cfg(test)] mod tests { fn f() { let t = Instant::now(); } }";
+        assert_eq!(run(PLAIN, in_tests).len(), 1);
+        // The obs crate is the sanctioned surface.
+        assert!(classify("crates/obs/src/time.rs").is_clock_surface);
+        assert!(run("crates/obs/src/time.rs", "fn f() { let t = Instant::now(); }").is_empty());
+        // Other uses of the types (arithmetic, elapsed) are fine.
+        assert!(run(PLAIN, "fn f(t: Instant) -> Duration { t.elapsed() }").is_empty());
     }
 
     #[test]

@@ -19,3 +19,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 GT_BENCH_QUICK=1 cargo run --release -p gossiptrust-bench --bin bench_summary
+
+# Observability overhead proof: instrumented vs bare engine step on twin
+# seeded trajectories; exits nonzero (failing this script) if the obs
+# hooks cost more than their 2% budget. Writes BENCH_obs.json.
+GT_BENCH_QUICK=1 cargo run --release -p gossiptrust-bench --bin obs_overhead
+
+# Metrics dump: the loadgen bin leaves METRICS_service.prom (the full
+# Prometheus exposition of its run) next to BENCH_service.json.
+GT_BENCH_QUICK=1 cargo run --release -p gossiptrust-serve --bin loadgen

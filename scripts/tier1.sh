@@ -46,6 +46,12 @@ step cargo test -q -p gossiptrust-core --features invariants
 step cargo test -q -p gossiptrust-gossip --features invariants
 step cargo test -q -p gossiptrust-serve --features invariants
 
+# Observability shard: the mid-epoch scrape integration test (metrics
+# verb + HTTP listener under live load) and the <2% engine-hook
+# overhead proof (obs_overhead exits nonzero over budget).
+step cargo test -q -p gossiptrust --test obs_scrape
+step env GT_BENCH_QUICK=1 cargo run --release -p gossiptrust-bench --bin obs_overhead
+
 step env GT_QUICK=1 cargo run --release -p gossiptrust-experiments --bin all
 
 # Chaos shard: the deterministic fault-injection soak (quick mode) —

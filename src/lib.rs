@@ -24,6 +24,7 @@
 //! | [`crypto`] | `gossiptrust-crypto` | SHA-256/HMAC + identity-based signing simulation |
 //! | [`net`] | `gossiptrust-net` | tokio async gossip runtime (channels + UDP) |
 //! | [`serve`] | `gossiptrust-serve` | epoch-driven reputation service: feedback ingest, versioned snapshots, TCP query front-end |
+//! | [`obs`] | `gossiptrust-obs` | dependency-free metrics registry, Prometheus exposition, span tracing, the sanctioned clock surface |
 //!
 //! # Quickstart
 //!
@@ -64,6 +65,7 @@ pub use gossiptrust_crypto as crypto;
 pub use gossiptrust_filesharing as filesharing;
 pub use gossiptrust_gossip as gossip;
 pub use gossiptrust_net as net;
+pub use gossiptrust_obs as obs;
 pub use gossiptrust_serve as serve;
 pub use gossiptrust_simnet as simnet;
 pub use gossiptrust_storage as storage;

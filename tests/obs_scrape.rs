@@ -1,0 +1,153 @@
+//! Scrape the observability surface of a live service **mid-epoch under
+//! load**: background epochs every few milliseconds, writer/reader load
+//! from client threads, and two concurrent scrape paths — the `metrics`
+//! verb on the query port and the HTTP listener `serve_metrics_on`
+//! drives. Both must return a parseable Prometheus exposition carrying
+//! the full metric set while epochs are in flight.
+
+use gossiptrust::core::id::NodeId;
+use gossiptrust::serve::server::{serve_metrics_on, serve_on};
+use gossiptrust::serve::service::{ReputationService, ServiceConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::{TcpListener, TcpStream};
+
+const N: usize = 120;
+
+/// Every metric name the obs subsystem promises to expose, whatever the
+/// service was doing when the scrape landed.
+const REQUIRED: &[&str] = &[
+    "gt_request_latency_ns",
+    "gt_query_latency_ns",
+    "gt_ingest_latency_ns",
+    "gt_epoch_fold_ns",
+    "gt_epoch_aggregate_ns",
+    "gt_epoch_publish_ns",
+    "gt_epoch_total_ns",
+    "gt_wal_fsync_ns",
+    "gt_gossip_step_ns",
+    "gt_gossip_bytes_streamed_total",
+    "gt_epochs_attempted_total",
+    "gt_epochs_published_total",
+    "gt_queries_served_total",
+    "gt_requests_shed_total",
+    "gt_ingest_retries_total",
+    "gt_conns_rejected_total",
+    "gt_chaos_frames_dropped_total",
+    "gt_chaos_epochs_panicked_total",
+    "gt_trace_events_dropped_total",
+];
+
+fn assert_exposition_complete(text: &str, via: &str) {
+    for name in REQUIRED {
+        assert!(text.contains(name), "{via} exposition is missing {name}:\n{text}");
+    }
+    // Histogram sanity: cumulative bucket lines, +Inf terminator, and a
+    // sum/count pair for the query histogram that served the load.
+    assert!(
+        text.contains("gt_query_latency_ns_bucket{le=\"+Inf\"}"),
+        "{via}: query histogram has no +Inf bucket:\n{text}"
+    );
+    assert!(text.contains("gt_query_latency_ns_count"), "{via}: no count line");
+    assert!(text.contains("gt_query_latency_ns_sum"), "{via}: no sum line");
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn scraping_mid_epoch_under_load_returns_the_full_surface() {
+    // Epochs every 5 ms: scrapes land while fold/aggregate/publish spans
+    // are genuinely in flight, not between idle epochs.
+    let config =
+        ServiceConfig { epoch_interval: Some(Duration::from_millis(5)), ..ServiceConfig::new(N) };
+    let service = ReputationService::start(config);
+    let handle = service.handle();
+    for i in 0..N {
+        handle
+            .record(NodeId::from_index(i), NodeId::from_index((i + 1) % N), 2.0)
+            .expect("in range");
+    }
+
+    // Client load from plain threads for the whole duration of the test.
+    let stop = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = (0..2)
+        .map(|w| {
+            let h = service.handle();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut i = w;
+                while !stop.load(Ordering::Relaxed) {
+                    let peer = NodeId::from_index(i % N);
+                    let _ = h.get_score(peer);
+                    let _ = h.record(peer, NodeId::from_index((i + 3) % N), 1.0);
+                    i += 1;
+                }
+            })
+        })
+        .collect();
+
+    let query_listener = TcpListener::bind("127.0.0.1:0").await.expect("bind");
+    let query_addr = query_listener.local_addr().expect("addr");
+    let scrape_listener = TcpListener::bind("127.0.0.1:0").await.expect("bind");
+    let scrape_addr = scrape_listener.local_addr().expect("addr");
+    let server = tokio::spawn(serve_on(service.handle(), query_listener));
+    let scraper = tokio::spawn(serve_metrics_on(service.handle(), scrape_listener));
+
+    // Let a few epochs and a burst of load land first.
+    tokio::time::sleep(Duration::from_millis(60)).await;
+
+    // --- Scrape path 1: the `metrics` verb on the query port -------------
+    let mut stream = TcpStream::connect(query_addr).await.expect("connect");
+    stream.write_all(b"{\"op\":\"metrics\"}\n").await.expect("write");
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        stream.read_exact(&mut byte).await.expect("read");
+        if byte[0] == b'\n' {
+            break;
+        }
+        line.push(byte[0]);
+    }
+    let obj = gossiptrust::serve::json::parse_flat(std::str::from_utf8(&line).expect("utf-8"))
+        .expect("metrics reply parses");
+    let text = gossiptrust::serve::json::get_str(&obj, "metrics").expect("metrics field");
+    assert_exposition_complete(text, "metrics verb");
+
+    // --- Scrape path 2: several concurrent HTTP scrapes mid-epoch --------
+    let scrapes: Vec<_> = (0..4)
+        .map(|_| {
+            tokio::spawn(async move {
+                let mut stream = TcpStream::connect(scrape_addr).await.expect("connect");
+                stream
+                    .write_all(b"GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n")
+                    .await
+                    .expect("write");
+                let mut raw = Vec::new();
+                stream.read_to_end(&mut raw).await.expect("read");
+                String::from_utf8(raw).expect("utf-8")
+            })
+        })
+        .collect();
+    for task in scrapes {
+        let response = task.await.expect("scrape task");
+        let (head, body) = response.split_once("\r\n\r\n").expect("header separator");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "status: {head}");
+        assert_exposition_complete(body, "http scrape");
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    for w in workers {
+        w.join().expect("worker thread");
+    }
+
+    // The load must actually be visible in what was scraped.
+    let final_text = service.handle().metrics_text();
+    let report = service.handle().stats_report();
+    assert!(report.epochs_published >= 2, "background epochs ran: {report:?}");
+    assert!(final_text.contains("gt_epoch_fold_ns_count"), "fold was timed");
+    assert!(!final_text.contains("gt_queries_served_total 0\n"), "queries were counted");
+
+    server.abort();
+    scraper.abort();
+    service.shutdown();
+}
