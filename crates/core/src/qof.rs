@@ -96,7 +96,7 @@ pub fn feedback_credibility(
 
     // Per-rater divergence from consensus, in opinion space.
     let mut divergence = vec![0.0; n];
-    for i in 0..n {
+    for (i, slot) in divergence.iter_mut().enumerate() {
         let rater = NodeId::from_index(i);
         if matrix.row_is_dangling(rater) {
             continue;
@@ -107,7 +107,7 @@ pub fn feedback_credibility(
         for (&j, &s) in cols.iter().zip(vals) {
             acc += (s * deg - consensus[j as usize]).abs();
         }
-        divergence[i] = acc / deg;
+        *slot = acc / deg;
     }
     let max_div = divergence.iter().copied().fold(0.0, f64::max);
     let scores = divergence

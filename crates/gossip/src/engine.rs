@@ -237,6 +237,10 @@ impl Slab {
 /// state, the slab's rows of the `prev_beta` convergence memory (`NaN` =
 /// undefined), and the per-row `(defined, max relative change)` results.
 /// Owned by exactly one worker while a step is in flight.
+/// Per-node gossip disturbance: the sorted component ids whose pushed x
+/// the node inflates, and the inflation factor (`None` = honest node).
+type CorruptionTable = Vec<Option<(Vec<u32>, f64)>>;
+
 #[derive(Clone, Debug)]
 struct SlabTask {
     slab: Slab,
@@ -254,7 +258,7 @@ struct StepRead {
     rows_per: usize,
     slabs: Vec<Arc<Slab>>,
     alive: Arc<Vec<bool>>,
-    corruption: Arc<Vec<Option<(Vec<u32>, f64)>>>,
+    corruption: Arc<CorruptionTable>,
     corrupt_active: bool,
     offsets: Vec<u32>,
     flat: Vec<u32>,
@@ -499,7 +503,7 @@ pub struct VectorGossipEngine {
     alive: Arc<Vec<bool>>,
     /// Gossip disturbance: per-node sorted list of components whose pushed
     /// x the node inflates, and the inflation factor (None = honest).
-    corruption: Arc<Vec<Option<(Vec<u32>, f64)>>>,
+    corruption: Arc<CorruptionTable>,
     stats: GossipStats,
     step_idx: usize,
     // Reused per-step scratch (send table + CSR build), so a step allocates

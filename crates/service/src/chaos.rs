@@ -153,6 +153,20 @@ pub enum EpochFault {
     Overrun(Duration),
 }
 
+impl EpochFault {
+    /// Materialize the fault inside the epoch watchdog body: `Panic`
+    /// unwinds (the exact failure `catch_unwind` exists to contain),
+    /// `Overrun` stalls the epoch thread past its deadline. Keeping the
+    /// `panic!` here, not in the epoch manager, makes this file the single
+    /// deliberate panic site on the serving path.
+    pub fn materialize(self) {
+        match self {
+            EpochFault::Panic => panic!("chaos: injected epoch panic"),
+            EpochFault::Overrun(pause) => std::thread::sleep(pause),
+        }
+    }
+}
+
 /// Monotonic counts of every fault dealt, by kind.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ChaosReport {
@@ -218,7 +232,10 @@ impl ChaosInjector {
 
     /// One per-mille roll off the seeded stream.
     fn roll(&self) -> u32 {
-        self.rng.lock().expect("chaos rng poisoned").random_range(0..1000)
+        self.rng
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .random_range(0..1000)
     }
 
     /// Decide the fate of one response frame.

@@ -22,7 +22,7 @@
 //! reputation service should keep answering with slightly stale, known-good
 //! scores rather than serve a half-converged vector.
 
-use crate::chaos::{ChaosInjector, EpochFault};
+use crate::chaos::ChaosInjector;
 use crate::log::FeedbackLog;
 use crate::obs::ServiceObs;
 use crate::snapshot::{ScoreSnapshot, SnapshotCell};
@@ -194,14 +194,10 @@ impl EpochManager {
         let fault = self.chaos.as_ref().and_then(|c| c.epoch_fault());
 
         let body = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            match fault {
-                // Injected mid-epoch panic: the exact failure the watchdog
-                // exists to contain.
-                Some(EpochFault::Panic) => panic!("chaos: injected epoch panic"),
-                // Injected overrun: a fold/aggregate that takes far longer
-                // than budgeted (the deadline check below catches it).
-                Some(EpochFault::Overrun(pause)) => std::thread::sleep(pause),
-                None => {}
+            if let Some(fault) = fault {
+                // Injected panic or overrun — materialized in `chaos`, the
+                // one sanctioned fault site on the serving path.
+                fault.materialize();
             }
 
             let fold_span = span.child("fold");

@@ -61,7 +61,7 @@ pub fn get_index(obj: &FlatObject, key: &str) -> Option<u32> {
 pub fn parse_flat(input: &str) -> Result<FlatObject, String> {
     let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
     p.skip_ws();
-    p.expect(b'{')?;
+    p.expect_byte(b'{')?;
     let mut out = Vec::new();
     p.skip_ws();
     if p.peek() == Some(b'}') {
@@ -71,7 +71,7 @@ pub fn parse_flat(input: &str) -> Result<FlatObject, String> {
             p.skip_ws();
             let key = p.parse_string()?;
             p.skip_ws();
-            p.expect(b':')?;
+            p.expect_byte(b':')?;
             p.skip_ws();
             let value = p.parse_scalar()?;
             out.push((key, value));
@@ -112,7 +112,7 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, want: u8) -> Result<(), String> {
+    fn expect_byte(&mut self, want: u8) -> Result<(), String> {
         match self.next() {
             Some(b) if b == want => Ok(()),
             other => Err(format!("expected {:?}, got {other:?}", want as char)),
@@ -120,7 +120,7 @@ impl Parser<'_> {
     }
 
     fn parse_string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.next() {
@@ -160,9 +160,9 @@ impl Parser<'_> {
                         _ => 4,
                     };
                     let end = (start + len).min(self.bytes.len());
+                    let seq = self.bytes.get(start..end).ok_or("truncated multibyte")?;
                     out.push_str(
-                        std::str::from_utf8(&self.bytes[start..end])
-                            .map_err(|_| "invalid utf-8".to_string())?,
+                        std::str::from_utf8(seq).map_err(|_| "invalid utf-8".to_string())?,
                     );
                     self.pos = end;
                 }

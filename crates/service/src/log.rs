@@ -108,7 +108,7 @@ impl FeedbackLog {
         assert!(rater < self.n, "rater {rater} out of range for n = {}", self.n);
         assert!(target < self.n, "target {target} out of range for n = {}", self.n);
         let shards = self.shards.len();
-        let mut shard = self.shards[rater % shards].lock().expect("feedback shard poisoned");
+        let mut shard = self.shards[rater % shards].lock().unwrap_or_else(|e| e.into_inner());
         shard.rows[rater / shards].add_feedback(event.target, event.score);
         drop(shard);
         self.events.fetch_add(1, Ordering::Relaxed);
@@ -127,7 +127,7 @@ impl FeedbackLog {
             );
         }
         let shards = self.shards.len();
-        let mut shard = self.shards[r % shards].lock().expect("feedback shard poisoned");
+        let mut shard = self.shards[r % shards].lock().unwrap_or_else(|e| e.into_inner());
         for &(target, score) in ratings {
             shard.rows[r / shards].add_feedback(target, score);
         }
@@ -160,7 +160,7 @@ impl FeedbackLog {
         let shards = self.shards.len();
         let mut rows = vec![LocalTrust::new(); self.n];
         for (s, shard) in self.shards.iter().enumerate() {
-            let guard = shard.lock().expect("feedback shard poisoned");
+            let guard = shard.lock().unwrap_or_else(|e| e.into_inner());
             for (slot, row) in guard.rows.iter().enumerate() {
                 rows[s + slot * shards] = row.clone();
             }
@@ -179,7 +179,7 @@ impl FeedbackLog {
         let shards = self.shards.len();
         let mut recorded = 0u64;
         for s in 0..shards {
-            let mut guard = self.shards[s].lock().expect("feedback shard poisoned");
+            let mut guard = self.shards[s].lock().unwrap_or_else(|e| e.into_inner());
             for slot in 0..guard.rows.len() {
                 let row = &rows[s + slot * shards];
                 for (target, amount) in row.iter_raw() {

@@ -264,7 +264,8 @@ async fn write_response<W: AsyncWriteExt + Unpin>(
             writer.write_all(frame).await?;
         }
         FrameFault::Truncate => {
-            writer.write_all(&frame[..frame.len() / 2]).await?;
+            let half = frame.get(..frame.len() / 2).unwrap_or_default();
+            writer.write_all(half).await?;
             return Ok(false);
         }
     }
@@ -286,7 +287,7 @@ async fn read_capped_line<R: AsyncBufRead + Unpin>(
             return Ok(!buf.is_empty());
         }
         if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
-            buf.extend_from_slice(&chunk[..pos]);
+            buf.extend_from_slice(chunk.get(..pos).unwrap_or_default());
             reader.consume(pos + 1);
             return Ok(true);
         }
@@ -506,8 +507,9 @@ pub fn hex_decode(hex: &str) -> Option<Vec<u8>> {
     let digits = hex.as_bytes();
     let mut out = Vec::with_capacity(digits.len() / 2);
     for pair in digits.chunks_exact(2) {
-        let hi = (pair[0] as char).to_digit(16)?;
-        let lo = (pair[1] as char).to_digit(16)?;
+        let &[hi, lo] = pair else { return None };
+        let hi = (hi as char).to_digit(16)?;
+        let lo = (lo as char).to_digit(16)?;
         out.push((hi * 16 + lo) as u8);
     }
     Some(out)

@@ -279,7 +279,9 @@ impl ServiceHandle {
         self.admit()?;
         let event = FeedbackEvent { rater, target, score };
         if let Some(wal) = &self.wal {
-            let mut wal = wal.lock().expect("WAL lock poisoned");
+            let mut wal = wal
+                .lock()
+                .map_err(|_| ServeError::Wal("WAL lock poisoned by a prior panic".into()))?;
             let fsync = Stopwatch::start();
             wal.append(&event).map_err(|e| ServeError::Wal(e.to_string()))?;
             self.obs.wal_fsync_ns.record(fsync.elapsed_ns());
@@ -300,7 +302,9 @@ impl ServiceHandle {
         }
         self.admit()?;
         if let Some(wal) = &self.wal {
-            let mut wal = wal.lock().expect("WAL lock poisoned");
+            let mut wal = wal
+                .lock()
+                .map_err(|_| ServeError::Wal("WAL lock poisoned by a prior panic".into()))?;
             let fsync = Stopwatch::start();
             wal.append_batch(rater, ratings)
                 .map_err(|e| ServeError::Wal(e.to_string()))?;

@@ -94,7 +94,9 @@ impl ScoreSnapshot {
         let ranking = vector.ranking();
         let mut rank_of = vec![0u32; vector.n()];
         for (rank, id) in ranking.iter().enumerate() {
-            rank_of[id.index()] = rank as u32;
+            if let Some(slot) = rank_of.get_mut(id.index()) {
+                *slot = rank as u32;
+            }
         }
         let rank_config =
             RankStorageConfig { levels: rank_config.levels.min(vector.n().max(1)), ..rank_config };
@@ -121,9 +123,13 @@ impl ScoreSnapshot {
         self.vector.n()
     }
 
-    /// Exact 0-based rank of `peer` (0 = most reputable).
+    /// Exact 0-based rank of `peer` (0 = most reputable). An out-of-range
+    /// peer ranks last rather than panicking on the serving path.
     pub fn exact_rank(&self, peer: NodeId) -> u32 {
-        self.rank_of[peer.index()]
+        self.rank_of
+            .get(peer.index())
+            .copied()
+            .unwrap_or(self.rank_of.len() as u32)
     }
 
     /// Approximate rank level from the Bloom buckets (see
@@ -158,7 +164,7 @@ impl SnapshotCell {
 
     /// Clone out the latest published snapshot.
     pub fn load(&self) -> Arc<ScoreSnapshot> {
-        Arc::clone(&self.current.read().expect("snapshot cell poisoned"))
+        Arc::clone(&self.current.read().unwrap_or_else(|e| e.into_inner()))
     }
 
     /// Publish `next` as the live snapshot.
@@ -169,7 +175,7 @@ impl SnapshotCell {
     /// torn-read guard, so a regression is a logic bug worth dying loudly on.
     pub fn publish(&self, next: ScoreSnapshot) {
         let next = Arc::new(next);
-        let mut slot = self.current.write().expect("snapshot cell poisoned");
+        let mut slot = self.current.write().unwrap_or_else(|e| e.into_inner());
         assert!(
             next.version > slot.version,
             "snapshot version must increase: {} -> {}",

@@ -84,7 +84,13 @@ const fn build_crc_table() -> [u32; 256] {
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
     for &b in bytes {
-        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        // The & 0xFF mask keeps the probe in range; .get keeps the loop
+        // panic-free even so (the unwrap_or arm is dead code).
+        let probe = CRC_TABLE
+            .get(((crc ^ b as u32) & 0xFF) as usize)
+            .copied()
+            .unwrap_or(0);
+        crc = (crc >> 8) ^ probe;
     }
     !crc
 }
@@ -108,23 +114,52 @@ pub struct Wal {
 /// Encode one event as a framed record (len | crc | payload).
 pub fn encode_record(event: &FeedbackEvent) -> [u8; RECORD_LEN] {
     let mut payload = [0u8; PAYLOAD_LEN];
-    payload[0..4].copy_from_slice(&event.rater.0.to_le_bytes());
-    payload[4..8].copy_from_slice(&event.target.0.to_le_bytes());
-    payload[8..16].copy_from_slice(&event.score.to_bits().to_le_bytes());
+    let fields = event
+        .rater
+        .0
+        .to_le_bytes()
+        .into_iter()
+        .chain(event.target.0.to_le_bytes())
+        .chain(event.score.to_bits().to_le_bytes());
+    for (dst, src) in payload.iter_mut().zip(fields) {
+        *dst = src;
+    }
     let mut record = [0u8; RECORD_LEN];
-    record[0..4].copy_from_slice(&(PAYLOAD_LEN as u32).to_le_bytes());
-    record[4..8].copy_from_slice(&crc32(&payload).to_le_bytes());
-    record[8..].copy_from_slice(&payload);
+    let frame = (PAYLOAD_LEN as u32)
+        .to_le_bytes()
+        .into_iter()
+        .chain(crc32(&payload).to_le_bytes())
+        .chain(payload);
+    for (dst, src) in record.iter_mut().zip(frame) {
+        *dst = src;
+    }
     record
 }
 
-/// Decode the payload of one framed record (length and CRC already
-/// checked by the caller).
-fn decode_payload(payload: &[u8]) -> FeedbackEvent {
-    let rater = u32::from_le_bytes(payload[0..4].try_into().expect("4 bytes"));
-    let target = u32::from_le_bytes(payload[4..8].try_into().expect("4 bytes"));
-    let bits = u64::from_le_bytes(payload[8..16].try_into().expect("8 bytes"));
-    FeedbackEvent { rater: NodeId(rater), target: NodeId(target), score: f64::from_bits(bits) }
+/// Little-endian `u32` at byte offset `off`; `None` when out of range.
+fn le_u32(bytes: &[u8], off: usize) -> Option<u32> {
+    let window = bytes.get(off..off.checked_add(4)?)?;
+    Some(window.iter().rev().fold(0u32, |acc, &b| (acc << 8) | b as u32))
+}
+
+/// Little-endian `u64` at byte offset `off`; `None` when out of range.
+fn le_u64(bytes: &[u8], off: usize) -> Option<u64> {
+    let window = bytes.get(off..off.checked_add(8)?)?;
+    Some(window.iter().rev().fold(0u64, |acc, &b| (acc << 8) | b as u64))
+}
+
+/// Decode the payload of one framed record (CRC already checked by the
+/// caller); `None` when the payload is short, which replay treats as a
+/// torn tail.
+fn decode_payload(payload: &[u8]) -> Option<FeedbackEvent> {
+    let rater = le_u32(payload, 0)?;
+    let target = le_u32(payload, 4)?;
+    let bits = le_u64(payload, 8)?;
+    Some(FeedbackEvent {
+        rater: NodeId(rater),
+        target: NodeId(target),
+        score: f64::from_bits(bits),
+    })
 }
 
 impl Wal {
@@ -146,19 +181,23 @@ impl Wal {
 
         if bytes.is_empty() {
             let mut header = [0u8; HEADER_LEN as usize];
-            header[0..8].copy_from_slice(&MAGIC);
-            header[8..16].copy_from_slice(&(n as u64).to_le_bytes());
+            let fields = MAGIC.into_iter().chain((n as u64).to_le_bytes());
+            for (dst, src) in header.iter_mut().zip(fields) {
+                *dst = src;
+            }
             file.write_all(&header)?;
             file.flush()?;
             return Ok((Wal { file, path }, WalReplay::default()));
         }
-        if bytes.len() < HEADER_LEN as usize || bytes[0..8] != MAGIC {
+        if bytes.len() < HEADER_LEN as usize || bytes.get(0..8) != Some(&MAGIC[..]) {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("{} is not a GTWAL1 file", path.display()),
             ));
         }
-        let header_n = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+        // The length check above guarantees the read; u64::MAX is an
+        // impossible peer count, so the fallback can only mismatch.
+        let header_n = le_u64(&bytes, 8).unwrap_or(u64::MAX);
         if header_n != n as u64 {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -173,15 +212,18 @@ impl Wal {
         // first torn/corrupt record is a tail to discard.
         let mut events = Vec::new();
         let mut good_end = HEADER_LEN as usize;
-        while bytes.len() - good_end >= RECORD_LEN {
-            let frame = &bytes[good_end..good_end + RECORD_LEN];
-            let len = u32::from_le_bytes(frame[0..4].try_into().expect("4 bytes"));
-            let crc = u32::from_le_bytes(frame[4..8].try_into().expect("4 bytes"));
-            let payload = &frame[8..];
+        while let Some(frame) = bytes.get(good_end..good_end + RECORD_LEN) {
+            let (Some(len), Some(crc), Some(payload)) =
+                (le_u32(frame, 0), le_u32(frame, 4), frame.get(8..))
+            else {
+                break;
+            };
             if len as usize != PAYLOAD_LEN || crc32(payload) != crc {
                 break;
             }
-            let event = decode_payload(payload);
+            let Some(event) = decode_payload(payload) else {
+                break;
+            };
             if event.rater.index() >= n || event.target.index() >= n {
                 break;
             }

@@ -1,0 +1,20 @@
+//! Async fixture (clean): yields to the runtime instead of blocking, and
+//! drops the guard in a scope before awaiting.
+#![forbid(unsafe_code)]
+
+use std::sync::Mutex;
+
+/// Sleeps via the runtime timer.
+pub async fn pump(ms: u64) {
+    tokio::time::sleep(std::time::Duration::from_millis(ms)).await;
+}
+
+/// Takes the lock in a scope, then awaits with the guard dropped.
+pub async fn drain(m: &Mutex<Vec<u32>>) {
+    let batch = {
+        let mut g = m.lock().unwrap_or_else(|e| e.into_inner());
+        std::mem::take(&mut *g)
+    };
+    let _ = batch.len();
+    tokio::task::yield_now().await;
+}

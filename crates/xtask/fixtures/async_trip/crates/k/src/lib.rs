@@ -1,0 +1,7 @@
+//! Async fixture (trip): blocking sleep inside an async fn.
+#![forbid(unsafe_code)]
+
+/// Blocks the executor thread for the whole pause.
+pub async fn pump(ms: u64) {
+    std::thread::sleep(std::time::Duration::from_millis(ms));
+}

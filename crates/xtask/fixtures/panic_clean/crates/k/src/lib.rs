@@ -1,0 +1,17 @@
+//! Panic-path fixture (clean): the serving chain sheds instead of
+//! panicking; the offline helper may still unwrap.
+#![forbid(unsafe_code)]
+
+/// Request-serving root.
+pub fn serve(line: &str) -> u32 {
+    handle(line)
+}
+
+fn handle(line: &str) -> u32 {
+    line.parse::<u32>().unwrap_or_default()
+}
+
+/// Not reachable from `serve`: free to panic.
+pub fn offline_tool(line: &str) -> u32 {
+    line.parse::<u32>().unwrap()
+}

@@ -1,0 +1,11 @@
+//! Panic-path fixture (trip): a `.unwrap()` one hop from the accept loop.
+#![forbid(unsafe_code)]
+
+/// Request-serving root.
+pub fn serve(line: &str) -> u32 {
+    handle(line)
+}
+
+fn handle(line: &str) -> u32 {
+    line.parse::<u32>().unwrap()
+}

@@ -1,0 +1,17 @@
+//! Taint fixture (clean): the clock read is not reachable from the sink.
+#![forbid(unsafe_code)]
+
+/// Deterministic sink: pure arithmetic only.
+pub fn step_slab() -> u64 {
+    helper()
+}
+
+fn helper() -> u64 {
+    41 + 1
+}
+
+/// Off the sink's call graph entirely.
+pub fn diagnostics_only() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,16 @@
+//! Taint fixture (trip): `step_slab` reaches a clock read two hops down.
+#![forbid(unsafe_code)]
+
+/// Deterministic sink.
+pub fn step_slab() -> u64 {
+    helper()
+}
+
+fn helper() -> u64 {
+    tick()
+}
+
+fn tick() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}

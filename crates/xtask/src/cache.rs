@@ -1,0 +1,94 @@
+//! Whole-run lint cache keyed by a content hash.
+//!
+//! `cargo xtask lint` now parses and graph-analyzes every crate; the
+//! cache keeps the everyday loop fast. The key is an FNV-1a hash over the
+//! linter version, `lint.toml`, and the contents of every scanned file —
+//! any edit anywhere changes the key. Only **clean** runs (no violations,
+//! no unused or expired waivers) are recorded: a cache hit certifies
+//! cleanliness, a dirty tree always re-runs in full. The record lives
+//! under `target/`, so `cargo clean` clears it and it never enters the
+//! repo.
+
+use std::path::{Path, PathBuf};
+
+/// Bump when rule semantics change, so stale clean-records die.
+pub const LINT_VERSION: &str = "gt-lint-v2.0";
+
+/// 64-bit FNV-1a.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Fnv {
+    /// Fold bytes into the running hash.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Final hash value, hex.
+    pub fn hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+fn cache_file(root: &Path) -> PathBuf {
+    root.join("target").join("gt-lint.cache")
+}
+
+/// True if a clean run with exactly this key is recorded.
+pub fn is_clean_hit(root: &Path, key: &str) -> Option<usize> {
+    let text = std::fs::read_to_string(cache_file(root)).ok()?;
+    let mut lines = text.lines();
+    if lines.next()? != key {
+        return None;
+    }
+    lines.next()?.parse().ok()
+}
+
+/// Record a clean run (`files_scanned` is restored on a later hit).
+/// Best-effort: an unwritable target dir only costs the next run speed.
+pub fn record_clean(root: &Path, key: &str, files_scanned: usize) {
+    let path = cache_file(root);
+    if std::fs::create_dir_all(root.join("target")).is_ok() {
+        let _ = std::fs::write(path, format!("{key}\n{files_scanned}\n"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    #[test]
+    fn fnv_is_stable_and_order_sensitive() {
+        let mut a = Fnv::default();
+        a.update(b"hello");
+        let mut b = Fnv::default();
+        b.update(b"hell");
+        b.update(b"o");
+        assert_eq!(a.hex(), b.hex());
+        let mut c = Fnv::default();
+        c.update(b"olleh");
+        assert_ne!(a.hex(), c.hex());
+    }
+
+    #[test]
+    fn roundtrip_and_key_mismatch() {
+        let root = std::env::temp_dir().join(format!("gt_lint_cache_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).unwrap();
+        assert!(is_clean_hit(&root, "k1").is_none());
+        record_clean(&root, "k1", 42);
+        assert_eq!(is_clean_hit(&root, "k1"), Some(42));
+        assert!(is_clean_hit(&root, "k2").is_none());
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -3,28 +3,43 @@
 //! Workspace automation, `cargo xtask` style. The one subcommand that
 //! matters is **`gt-lint`** (`cargo xtask lint`): a repo-specific static
 //! analysis pass that machine-checks the contracts the compiler cannot
-//! see — float-equality hygiene, the single env-knob surface, hash-free
-//! deterministic kernels, `#![forbid(unsafe_code)]` coverage, and the ban
-//! on ambient entropy. See [`rules`] for the rule set and `DESIGN.md` §8
-//! for the contract rationale.
+//! see. Two layers run on every invocation:
+//!
+//! - **Per-file token rules** ([`rules`]): float-equality hygiene, the
+//!   single env-knob surface, hash-free deterministic kernels,
+//!   `#![forbid(unsafe_code)]` coverage, the ban on ambient entropy, and
+//!   the obs-only clock surface.
+//! - **Workspace call-graph rules** ([`analysis`] over [`parser`] +
+//!   [`graph`]): taint reachability into the deterministic kernel entry
+//!   points, panic-path freedom for request-serving code, and async
+//!   discipline in the tokio front-end.
+//!
+//! Findings are reported in a human format and, on request, as SARIF
+//! 2.1 ([`sarif`]) for CI annotation. A content-hash cache ([`cache`])
+//! short-circuits clean re-runs. See `DESIGN.md` §8 for the contract
+//! rationale and the documented imprecision of the call-graph
+//! approximation.
 //!
 //! The crate is **dependency-free by design**: the linter is the first CI
 //! gate and must build and run before any of the workspace's external
 //! dependencies resolve. It therefore walks token streams from its own
-//! small lexer ([`lexer`]) rather than a full AST; every rule is written
-//! against tokens plus just enough structure (bracket matching, attribute
-//! and `cfg(test)`-module detection) to be precise on this codebase.
+//! small lexer ([`lexer`]) rather than a full AST.
 //!
 //! Waivers live in the checked-in `lint.toml` ([`config`]): one
-//! `(rule, path, reason)` triple per exception, validated strictly so
-//! stale entries cannot linger.
+//! `(rule, path, reason, expires)` tuple per exception, validated
+//! strictly — stale entries are warnings, expired entries are errors.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
+pub mod cache;
 pub mod config;
+pub mod graph;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod sarif;
 pub mod walk;
 
 use config::LintConfig;
@@ -39,36 +54,53 @@ pub struct LintReport {
     /// Waivers present in lint.toml that matched no violation this run.
     /// Reported as warnings — the waiver (or the rule) has gone stale.
     pub unused_waivers: Vec<config::Waiver>,
+    /// Waivers whose `expires` date has passed (non-empty = fail).
+    pub expired_waivers: Vec<config::Waiver>,
     /// How many files were scanned.
     pub files_scanned: usize,
+    /// True when the result came from the clean-run cache.
+    pub from_cache: bool,
 }
 
 impl LintReport {
     /// True when the tree is clean.
     pub fn is_clean(&self) -> bool {
-        self.violations.is_empty()
+        self.violations.is_empty() && self.expired_waivers.is_empty()
     }
+}
+
+/// Run the full gt-lint pass over the workspace at `root`, using the
+/// clean-run cache.
+///
+/// See [`run_lint_with`] for details.
+///
+/// # Errors
+/// As for [`run_lint_with`].
+pub fn run_lint(root: &Path) -> Result<LintReport, String> {
+    run_lint_with(root, true)
 }
 
 /// Run the full gt-lint pass over the workspace at `root`.
 ///
-/// Reads `lint.toml` at the root (absence = no waivers), scans every
-/// lintable source (see [`walk::rust_sources`]), and filters violations
-/// through the waiver list.
+/// Reads `lint.toml` at the root (absence = no waivers, no workspace
+/// analysis), scans every lintable source (see [`walk::rust_sources`]),
+/// runs the per-file rules and — when `[analysis]` is configured — the
+/// call-graph rule families, and filters violations through the waiver
+/// list. With `use_cache`, a content-hash hit from a previous fully-clean
+/// run short-circuits the scan.
 ///
 /// # Errors
 /// Configuration problems (malformed lint.toml, waivers naming unknown
 /// rules or nonexistent files) and unreadable sources are errors — a lint
 /// run must never silently skip what it cannot check.
-pub fn run_lint(root: &Path) -> Result<LintReport, String> {
+pub fn run_lint_with(root: &Path, use_cache: bool) -> Result<LintReport, String> {
     let config_path = root.join("lint.toml");
-    let config: LintConfig = if config_path.is_file() {
-        let text =
-            std::fs::read_to_string(&config_path).map_err(|e| format!("reading lint.toml: {e}"))?;
-        config::parse(&text)?
+    let config_text = if config_path.is_file() {
+        std::fs::read_to_string(&config_path).map_err(|e| format!("reading lint.toml: {e}"))?
     } else {
-        LintConfig::default()
+        String::new()
     };
+    let config: LintConfig = config::parse(&config_text)?;
     for w in &config.waivers {
         if !root.join(&w.path).is_file() {
             return Err(format!(
@@ -77,33 +109,97 @@ pub fn run_lint(root: &Path) -> Result<LintReport, String> {
             ));
         }
     }
+    let today = config::today_utc();
+    let expired_waivers: Vec<config::Waiver> = config::expired(&config.waivers, &today)
+        .into_iter()
+        .cloned()
+        .collect();
 
+    // Read every source once; the contents feed the cache key, the token
+    // rules, and the parser.
     let files = walk::rust_sources(root);
-    let mut violations = Vec::new();
-    let mut used = vec![false; config.waivers.len()];
+    let mut sources: Vec<String> = Vec::with_capacity(files.len());
+    let mut key = cache::Fnv::default();
+    key.update(cache::LINT_VERSION.as_bytes());
+    key.update(config_text.as_bytes());
     for rel in &files {
         let source =
             std::fs::read_to_string(root.join(rel)).map_err(|e| format!("reading {rel}: {e}"))?;
-        let tokens = lexer::tokenize(&source);
-        for v in rules::check_file(rel, &tokens, rules::classify(rel)) {
-            match config
-                .waivers
-                .iter()
-                .position(|w| w.rule == v.rule && w.path == v.path)
-            {
-                Some(idx) => used[idx] = true,
-                None => violations.push(v),
-            }
+        key.update(rel.as_bytes());
+        key.update(source.as_bytes());
+        sources.push(source);
+    }
+    let key = key.hex();
+    if use_cache && expired_waivers.is_empty() {
+        if let Some(files_scanned) = cache::is_clean_hit(root, &key) {
+            return Ok(LintReport { files_scanned, from_cache: true, ..Default::default() });
         }
     }
-    let unused_waivers = config
+
+    // Layer 1: per-file token rules.
+    let mut raw: Vec<Violation> = Vec::new();
+    let mut tokens: Vec<Vec<lexer::Token>> = Vec::with_capacity(files.len());
+    for (rel, source) in files.iter().zip(&sources) {
+        let toks = lexer::tokenize(source);
+        raw.extend(rules::check_file(rel, &toks, rules::classify(rel)));
+        tokens.push(toks);
+    }
+
+    // Layer 2: workspace call-graph rules (configured via [analysis]).
+    let run_analysis = !(config.analysis.taint_sinks.is_empty()
+        && config.analysis.panic_roots.is_empty()
+        && config.analysis.async_paths.is_empty());
+    if run_analysis {
+        let parsed: Vec<parser::ParsedFile> = files
+            .iter()
+            .zip(&tokens)
+            .map(|(rel, toks)| {
+                if rules::classify(rel).is_test_file {
+                    // Test files contribute no production graph nodes.
+                    parser::ParsedFile { rel: rel.clone(), ..Default::default() }
+                } else {
+                    parser::parse_file(rel, toks)
+                }
+            })
+            .collect();
+        let g = graph::Graph::build(root, &parsed);
+        analysis::taint(&parsed, &tokens, &g, &config.analysis, &mut raw);
+        analysis::panic_path(&tokens, &g, &config.analysis, &mut raw);
+        analysis::async_discipline(&tokens, &g, &config.analysis, &mut raw);
+    }
+
+    // Waiver filter.
+    let mut violations = Vec::new();
+    let mut used = vec![false; config.waivers.len()];
+    for v in raw {
+        match config
+            .waivers
+            .iter()
+            .position(|w| w.rule == v.rule && w.path == v.path)
+        {
+            Some(idx) => used[idx] = true,
+            None => violations.push(v),
+        }
+    }
+    violations.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    let unused_waivers: Vec<config::Waiver> = config
         .waivers
         .iter()
         .zip(&used)
         .filter(|(_, &u)| !u)
         .map(|(w, _)| w.clone())
         .collect();
-    Ok(LintReport { violations, unused_waivers, files_scanned: files.len() })
+    let report = LintReport {
+        violations,
+        unused_waivers,
+        expired_waivers,
+        files_scanned: files.len(),
+        from_cache: false,
+    };
+    if use_cache && report.is_clean() && report.unused_waivers.is_empty() {
+        cache::record_clean(root, &key, report.files_scanned);
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -121,7 +217,7 @@ mod tests {
     }
 
     #[test]
-    fn clean_tree_is_clean() {
+    fn clean_tree_is_clean_and_caches() {
         let root = scratch("clean");
         fs::write(
             root.join("crates/k/src/lib.rs"),
@@ -131,6 +227,23 @@ mod tests {
         let report = run_lint(&root).unwrap();
         assert!(report.is_clean(), "{:?}", report.violations);
         assert_eq!(report.files_scanned, 1);
+        assert!(!report.from_cache);
+        // Second identical run hits the cache.
+        let report = run_lint(&root).unwrap();
+        assert!(report.is_clean());
+        assert!(report.from_cache);
+        assert_eq!(report.files_scanned, 1);
+        // An edit invalidates it.
+        fs::write(
+            root.join("crates/k/src/lib.rs"),
+            "#![forbid(unsafe_code)]\npub fn f(x: f64) -> bool { x > 0.25 }\n",
+        )
+        .unwrap();
+        let report = run_lint(&root).unwrap();
+        assert!(!report.from_cache);
+        // --no-cache never reads nor hits.
+        let report = run_lint_with(&root, false).unwrap();
+        assert!(!report.from_cache);
         let _ = fs::remove_dir_all(&root);
     }
 
@@ -143,27 +256,74 @@ mod tests {
         )
         .unwrap();
         // Unwaived: one float-eq violation.
-        let report = run_lint(&root).unwrap();
+        let report = run_lint_with(&root, false).unwrap();
         assert_eq!(report.violations.len(), 1);
         // Waived: clean, waiver used.
         fs::write(
             root.join("lint.toml"),
-            "[[allow]]\nrule = \"float-eq\"\npath = \"crates/k/src/lib.rs\"\nreason = \"r\"\n",
+            "[[allow]]\nrule = \"float-eq\"\npath = \"crates/k/src/lib.rs\"\nreason = \"r\"\n\
+             expires = \"2099-12-31\"\n",
         )
         .unwrap();
-        let report = run_lint(&root).unwrap();
+        let report = run_lint_with(&root, false).unwrap();
         assert!(report.is_clean());
         assert!(report.unused_waivers.is_empty());
         // Over-waived: a second waiver that matches nothing is reported.
         fs::write(
             root.join("lint.toml"),
             "[[allow]]\nrule = \"float-eq\"\npath = \"crates/k/src/lib.rs\"\nreason = \"r\"\n\
-             [[allow]]\nrule = \"entropy\"\npath = \"crates/k/src/lib.rs\"\nreason = \"r\"\n",
+             expires = \"2099-12-31\"\n\
+             [[allow]]\nrule = \"entropy\"\npath = \"crates/k/src/lib.rs\"\nreason = \"r\"\n\
+             expires = \"2099-12-31\"\n",
         )
         .unwrap();
-        let report = run_lint(&root).unwrap();
+        let report = run_lint_with(&root, false).unwrap();
         assert_eq!(report.unused_waivers.len(), 1);
         assert_eq!(report.unused_waivers[0].rule, "entropy");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn expired_waivers_fail_the_run() {
+        let root = scratch("expired");
+        fs::write(
+            root.join("crates/k/src/lib.rs"),
+            "#![forbid(unsafe_code)]\npub fn f(x: f64) -> bool { x == 0.5 }\n",
+        )
+        .unwrap();
+        fs::write(
+            root.join("lint.toml"),
+            "[[allow]]\nrule = \"float-eq\"\npath = \"crates/k/src/lib.rs\"\nreason = \"r\"\n\
+             expires = \"2020-01-01\"\n",
+        )
+        .unwrap();
+        let report = run_lint_with(&root, false).unwrap();
+        // The waiver still suppresses the violation but its expiry fails
+        // the run — renew (with a fresh justification) or fix the code.
+        assert!(report.violations.is_empty());
+        assert_eq!(report.expired_waivers.len(), 1);
+        assert!(!report.is_clean());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn analysis_rules_run_when_configured() {
+        let root = scratch("analysis");
+        fs::write(
+            root.join("crates/k/src/lib.rs"),
+            "#![forbid(unsafe_code)]\n\
+             pub fn step_slab() { helper(); }\n\
+             fn helper() { let _ = Instant::now(); }\n",
+        )
+        .unwrap();
+        // Without [analysis]: only the lexical time-source rule fires.
+        let report = run_lint_with(&root, false).unwrap();
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, "time-source");
+        // With [analysis]: the taint rule fires too.
+        fs::write(root.join("lint.toml"), "[analysis]\ntaint_sinks = [\"step_slab\"]\n").unwrap();
+        let report = run_lint_with(&root, false).unwrap();
+        assert!(report.violations.iter().any(|v| v.rule == "taint-clock"), "{report:?}");
         let _ = fs::remove_dir_all(&root);
     }
 
@@ -173,7 +333,8 @@ mod tests {
         fs::write(root.join("crates/k/src/lib.rs"), "#![forbid(unsafe_code)]\n").unwrap();
         fs::write(
             root.join("lint.toml"),
-            "[[allow]]\nrule = \"float-eq\"\npath = \"crates/gone.rs\"\nreason = \"r\"\n",
+            "[[allow]]\nrule = \"float-eq\"\npath = \"crates/gone.rs\"\nreason = \"r\"\n\
+             expires = \"2099-12-31\"\n",
         )
         .unwrap();
         let err = run_lint(&root).unwrap_err();

@@ -1,17 +1,20 @@
 //! `cargo xtask` — workspace automation entry point.
 //!
 //! ```text
-//! cargo xtask lint                 # run gt-lint over the whole workspace
-//! cargo xtask lint --list-waivers  # print the active lint.toml waivers
-//! cargo xtask lint --list-rules    # print the rule set
+//! cargo xtask lint                    # run gt-lint over the whole workspace
+//! cargo xtask lint --sarif out.sarif  # also write SARIF 2.1 for CI upload
+//! cargo xtask lint --no-cache         # ignore the clean-run cache
+//! cargo xtask lint --list-waivers     # print the active lint.toml waivers
+//! cargo xtask lint --list-rules       # print the rule set
 //! ```
 //!
-//! Exit status: 0 clean, 1 violations found, 2 usage/configuration error.
+//! Exit status: 0 clean, 1 violations or expired waivers, 2
+//! usage/configuration error.
 
 #![forbid(unsafe_code)]
 
 use gossiptrust_xtask::rules::RULE_NAMES;
-use gossiptrust_xtask::{run_lint, walk};
+use gossiptrust_xtask::{run_lint_with, sarif, walk};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -23,7 +26,10 @@ fn main() -> ExitCode {
             ExitCode::from(2)
         }
         None => {
-            eprintln!("usage: cargo xtask lint [--list-rules | --list-waivers]");
+            eprintln!(
+                "usage: cargo xtask lint [--sarif <path>] [--no-cache] \
+                 [--list-rules | --list-waivers]"
+            );
             ExitCode::from(2)
         }
     }
@@ -49,22 +55,52 @@ fn lint(flags: &[String]) -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    match run_lint(&root) {
-        Ok(report) => {
-            if flags.iter().any(|f| f == "--list-waivers") {
-                let text = std::fs::read_to_string(root.join("lint.toml")).unwrap_or_default();
-                match gossiptrust_xtask::config::parse(&text) {
-                    Ok(cfg) => {
-                        for w in &cfg.waivers {
-                            println!("{:<14} {:<44} {}", w.rule, w.path, w.reason);
-                        }
-                    }
-                    Err(e) => {
-                        eprintln!("gt-lint: {e}");
-                        return ExitCode::from(2);
-                    }
+    let mut sarif_path: Option<String> = None;
+    let mut use_cache = true;
+    let mut it = flags.iter();
+    while let Some(f) = it.next() {
+        match f.as_str() {
+            "--sarif" => {
+                let Some(p) = it.next() else {
+                    eprintln!("gt-lint: --sarif needs a path");
+                    return ExitCode::from(2);
+                };
+                sarif_path = Some(p.clone());
+                // SARIF must reflect a real scan, not a cache hit.
+                use_cache = false;
+            }
+            "--no-cache" => use_cache = false,
+            "--list-waivers" => {}
+            other => {
+                eprintln!("gt-lint: unknown flag {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if flags.iter().any(|f| f == "--list-waivers") {
+        let text = std::fs::read_to_string(root.join("lint.toml")).unwrap_or_default();
+        match gossiptrust_xtask::config::parse(&text) {
+            Ok(cfg) => {
+                for w in &cfg.waivers {
+                    println!("{:<16} {:<44} expires {}  {}", w.rule, w.path, w.expires, w.reason);
                 }
                 return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("gt-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    match run_lint_with(&root, use_cache) {
+        Ok(report) => {
+            if let Some(path) = sarif_path {
+                if let Err(e) = std::fs::write(&path, sarif::to_sarif(&report.violations)) {
+                    eprintln!("gt-lint: writing SARIF to {path}: {e}");
+                    return ExitCode::from(2);
+                }
             }
             for w in &report.unused_waivers {
                 eprintln!(
@@ -72,16 +108,25 @@ fn lint(flags: &[String]) -> ExitCode {
                     w.rule, w.path
                 );
             }
+            for w in &report.expired_waivers {
+                eprintln!(
+                    "gt-lint: expired waiver ({}, {}) — expired {}; fix the code or renew \
+                     with a fresh justification",
+                    w.rule, w.path, w.expires
+                );
+            }
             if report.is_clean() {
-                println!("gt-lint: {} files clean", report.files_scanned);
+                let cached = if report.from_cache { " (cached)" } else { "" };
+                println!("gt-lint: {} files clean{cached}", report.files_scanned);
                 ExitCode::SUCCESS
             } else {
                 for v in &report.violations {
                     println!("{}:{}: [{}] {}", v.path, v.line, v.rule, v.message);
                 }
                 println!(
-                    "gt-lint: {} violation(s) in {} files scanned",
+                    "gt-lint: {} violation(s), {} expired waiver(s) in {} files scanned",
                     report.violations.len(),
+                    report.expired_waivers.len(),
                     report.files_scanned
                 );
                 ExitCode::FAILURE

@@ -26,6 +26,10 @@
 use crate::lexer::{Token, TokenKind};
 
 /// Stable identifiers of every rule, as used in `lint.toml` waivers.
+///
+/// The first six are per-file token rules implemented here; the
+/// `taint-*`, `panic-path` and `async-discipline` families are
+/// workspace-level call-graph rules implemented in [`crate::analysis`].
 pub const RULE_NAMES: &[&str] = &[
     "float-eq",
     "env-var",
@@ -33,6 +37,12 @@ pub const RULE_NAMES: &[&str] = &[
     "forbid-unsafe",
     "entropy",
     "time-source",
+    "taint-clock",
+    "taint-entropy",
+    "taint-env",
+    "taint-hash",
+    "panic-path",
+    "async-discipline",
 ];
 
 /// One finding: rule, location, human-readable detail.

@@ -71,11 +71,11 @@ fn waiving_every_violation_makes_the_tree_clean() {
     assert!(n_before >= 5);
     fs::write(
         root.join("lint.toml"),
-        "[[allow]]\nrule = \"float-eq\"\npath = \"crates/gossip/src/lib.rs\"\nreason = \"t\"\n\
-         [[allow]]\nrule = \"hash-iter\"\npath = \"crates/gossip/src/lib.rs\"\nreason = \"t\"\n\
-         [[allow]]\nrule = \"forbid-unsafe\"\npath = \"crates/gossip/src/lib.rs\"\nreason = \"t\"\n\
-         [[allow]]\nrule = \"env-var\"\npath = \"crates/app/src/lib.rs\"\nreason = \"t\"\n\
-         [[allow]]\nrule = \"entropy\"\npath = \"crates/app/src/lib.rs\"\nreason = \"t\"\n",
+        "[[allow]]\nrule = \"float-eq\"\npath = \"crates/gossip/src/lib.rs\"\nreason = \"t\"\nexpires = \"2099-12-31\"\n\
+         [[allow]]\nrule = \"hash-iter\"\npath = \"crates/gossip/src/lib.rs\"\nreason = \"t\"\nexpires = \"2099-12-31\"\n\
+         [[allow]]\nrule = \"forbid-unsafe\"\npath = \"crates/gossip/src/lib.rs\"\nreason = \"t\"\nexpires = \"2099-12-31\"\n\
+         [[allow]]\nrule = \"env-var\"\npath = \"crates/app/src/lib.rs\"\nreason = \"t\"\nexpires = \"2099-12-31\"\n\
+         [[allow]]\nrule = \"entropy\"\npath = \"crates/app/src/lib.rs\"\nreason = \"t\"\nexpires = \"2099-12-31\"\n",
     )
     .unwrap();
     let report = run_lint(&root).unwrap();

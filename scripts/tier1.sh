@@ -25,10 +25,18 @@ step() {
 
 step cargo build --release --workspace
 
-# Repo-specific static analysis (gt-lint): float-eq hygiene, the single
-# env-knob surface, hash-free kernels, forbid(unsafe_code) coverage, no
-# ambient entropy. Waivers live in lint.toml.
-step cargo xtask lint
+# Repo-specific static analysis (gt-lint): the per-file rules (float-eq
+# hygiene, the single env-knob surface, hash-free kernels,
+# forbid(unsafe_code) coverage, no ambient entropy) plus the workspace
+# call-graph families (taint reachability into the deterministic kernels,
+# panic-path on the serving roots, async executor discipline). Waivers
+# live in lint.toml; an expired waiver fails this step.
+step cargo xtask lint --no-cache
+
+# The linter's own acceptance gate: every rule family must trip on its
+# committed trip-fixture and stay quiet on the matching clean one.
+step cargo test -q -p gossiptrust-xtask --test fixtures
+step cargo test -q -p gossiptrust-xtask --test lint_rules
 
 # Per-crate test runs: a failure in one crate is reported but does not
 # stop the remaining crates from being tested.
