@@ -34,7 +34,11 @@
 //! re-streamed the full `n`-length write row once per sender plus once for
 //! convergence, which made the step memory-bandwidth-bound and parallel
 //! speedup impossible. The inner loops are fixed-stride `f64` walks over
-//! tile slices, shaped for auto-vectorization.
+//! tile slices, shaped for auto-vectorization. The tile width is applied
+//! **per row**: rows with ≤ 1 sender (the Poisson(1) majority) and dead
+//! rows stream every array exactly once at any width, so they run untiled
+//! (`tile = n`) and keep their sweeps long; only multi-sender rows — the
+//! ones tiling exists for — use [`EngineConfig::tile`].
 //!
 //! ## Determinism contract
 //!
@@ -311,12 +315,24 @@ fn forge(read: &StepRead, s: usize, px: &[f64], nx: &mut [f64], t0: usize, t1: u
 fn step_slab(read: &StepRead, task: &mut SlabTask) {
     let n = task.slab.n;
     let lo = task.slab.lo;
-    let tile = read.tile.max(1);
     for r in 0..task.slab.rows() {
         let i = lo + r;
         let alive = read.alive[i];
         let (sx, sw) = read.row(i);
         let senders = read.senders(i);
+        // Per-row effective tile width. Tiling pays only when ≥ 2 senders
+        // would re-stream the write tile; the dominant 0/1-sender rows of
+        // Poisson(1) gossip (and frozen dead rows) stream every array
+        // exactly once at any width, so a fixed tile just chops their long
+        // auto-vectorized sweeps into chunks — the single-thread regression
+        // PR 4 left behind. Those rows take the untiled fast path
+        // (`tile = n`). Determinism rule 3 makes this free: the per-element
+        // op sequence is identical for every tile width.
+        let tile = if alive && senders.len() > 1 {
+            read.tile.max(1)
+        } else {
+            n
+        };
         let nx_row = &mut task.slab.xs[r * n..(r + 1) * n];
         let nw_row = &mut task.slab.ws[r * n..(r + 1) * n];
         let beta_row = &mut task.beta[r * n..(r + 1) * n];

@@ -1,6 +1,9 @@
 //! Replay a Zipf query mix against an in-process reputation service and
 //! write `BENCH_service.json` (queries/sec, p50/p99 latency, epoch wall
-//! time).
+//! time), then run the pipelined durable-ingest benchmark: concurrent
+//! writers feeding the group-commit WAL, against a serial mutexed-WAL
+//! baseline (the pre-group-commit hot path), reported as
+//! `baseline_delta_ingest_speedup`.
 //!
 //! ```text
 //! cargo run --release -p gossiptrust-serve --bin loadgen
@@ -9,11 +12,18 @@
 //! Set `GT_BENCH_QUICK=1` for a seconds-long smoke pass at reduced size
 //! (recorded as such in the JSON). `GT_N` overrides the population. The
 //! JSON records the measuring machine's core count the same way
-//! `BENCH_engine.json` does.
+//! `BENCH_engine.json` does. When a committed `BENCH_service.json` is
+//! already present, its query throughput/p99 are diffed into
+//! `prev_queries_per_sec` / `baseline_delta_queries_pct` before the file
+//! is overwritten.
 
 use gossiptrust_core::id::NodeId;
 use gossiptrust_core::params::{bench_quick, network_size_override};
-use gossiptrust_serve::loadgen::{report_json, run, LoadConfig};
+use gossiptrust_serve::json::{self, JsonObj};
+use gossiptrust_serve::loadgen::{
+    ingest_fields, report_fields, run, run_pipelined_ingest, run_serial_wal_baseline, IngestConfig,
+    LoadConfig,
+};
 use gossiptrust_serve::service::{ReputationService, ServiceConfig};
 use gossiptrust_workloads::Zipf;
 use rand::rngs::StdRng;
@@ -24,6 +34,12 @@ fn main() {
     let default_n: usize = if quick { 120 } else { 1_000 };
     let n = network_size_override().unwrap_or(default_n);
     let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+
+    // The committed bench document (when present) is the query-path
+    // baseline; parse it before this run overwrites the file.
+    let prev = std::fs::read_to_string("BENCH_service.json")
+        .ok()
+        .and_then(|text| json::parse_flat(text.trim()).ok());
 
     let service = ReputationService::start(ServiceConfig::new(n).with_seed(7));
     let handle = service.handle();
@@ -71,17 +87,82 @@ fn main() {
         report.gave_up,
         report.stats.requests_shed
     );
+    let metrics_text = handle.metrics_text();
+    service.shutdown();
 
-    let mut json = report_json(&report, n, cores, quick);
-    json.push('\n');
-    std::fs::write("BENCH_service.json", &json).expect("write BENCH_service.json");
+    // Pipelined durable-ingest pass: a fresh WAL-armed service takes the
+    // concurrent writers (group-commit path); the serial baseline drives
+    // the identical workload through one mutexed `Wal` with a write+flush
+    // per batch — the pre-group-commit hot path.
+    let ingest_config = if quick {
+        IngestConfig { connections: 4, batches_per_conn: 250, batch_size: 16, seed: 1 }
+    } else {
+        IngestConfig { connections: 8, batches_per_conn: 1_500, batch_size: 32, seed: 1 }
+    };
+    let total_events =
+        ingest_config.connections * ingest_config.batches_per_conn * ingest_config.batch_size;
+    let scratch = std::env::temp_dir().join(format!("gt-loadgen-ingest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let wal_service = ReputationService::start(
+        ServiceConfig::new(n)
+            .with_seed(7)
+            .with_wal_dir(scratch.join("pipelined"))
+            .with_ingest_queue(total_events * 2),
+    );
+    let piped = run_pipelined_ingest(&wal_service.handle(), &ingest_config);
+    wal_service.shutdown();
+    let serial = run_serial_wal_baseline(n, &scratch.join("serial"), &ingest_config);
+    let _ = std::fs::remove_dir_all(&scratch);
+    let speedup = if serial.events_per_sec > 0.0 {
+        piped.events_per_sec / serial.events_per_sec
+    } else {
+        0.0
+    };
+    println!(
+        "durable ingest: {} conns × {} batches × {}  pipelined = {:.0} ev/s (p99 {:.1} µs)  serial = {:.0} ev/s (p99 {:.1} µs)  speedup = {speedup:.2}×",
+        ingest_config.connections,
+        ingest_config.batches_per_conn,
+        ingest_config.batch_size,
+        piped.events_per_sec,
+        piped.p99_us,
+        serial.events_per_sec,
+        serial.p99_us,
+    );
+
+    let obj = report_fields(JsonObj::new(), &report, n, cores, quick);
+    let mut obj = ingest_fields(obj, &ingest_config, &piped, &serial);
+    // Query-path delta vs the previously committed document, when one was
+    // there to compare against.
+    if let Some(prev) = prev {
+        if let (Some(prev_qps), Some(prev_p99)) =
+            (json::get_num(&prev, "queries_per_sec"), json::get_num(&prev, "p99_us"))
+        {
+            let qps_pct = if prev_qps > 0.0 {
+                (report.queries_per_sec - prev_qps) / prev_qps * 100.0
+            } else {
+                0.0
+            };
+            let p99_pct = if prev_p99 > 0.0 {
+                (report.p99_us - prev_p99) / prev_p99 * 100.0
+            } else {
+                0.0
+            };
+            obj = obj
+                .num("prev_queries_per_sec", prev_qps)
+                .num("prev_p99_us", prev_p99)
+                .num("baseline_delta_queries_pct", qps_pct)
+                .num("baseline_delta_query_p99_pct", p99_pct);
+            println!("query path vs committed baseline: {qps_pct:+.1}% q/s, {p99_pct:+.1}% p99");
+        }
+    }
+    let mut doc = obj.finish();
+    doc.push('\n');
+    std::fs::write("BENCH_service.json", &doc).expect("write BENCH_service.json");
     println!("wrote BENCH_service.json");
 
-    // The full Prometheus exposition as measured during the run — the same
-    // text a live `GT_METRICS_ADDR` scrape would have returned; CI uploads
-    // it as an artifact next to the bench JSON.
-    std::fs::write("METRICS_service.prom", handle.metrics_text())
-        .expect("write METRICS_service.prom");
+    // The full Prometheus exposition as measured during the query run —
+    // the same text a live `GT_METRICS_ADDR` scrape would have returned;
+    // CI uploads it as an artifact next to the bench JSON.
+    std::fs::write("METRICS_service.prom", metrics_text).expect("write METRICS_service.prom");
     println!("wrote METRICS_service.prom");
-    service.shutdown();
 }

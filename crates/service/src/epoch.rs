@@ -201,7 +201,10 @@ impl EpochManager {
             }
 
             let fold_span = span.child("fold");
-            let matrix = Arc::new(self.log.fold());
+            // Shard-parallel fold (bit-identical to sequential): reuse the
+            // engine's resolved thread count so one knob sizes both the
+            // aggregation pool and the fold sweep.
+            let matrix = Arc::new(self.log.fold_parallel(self.engine_config.threads));
             let start = self.cell.load().vector.clone();
             self.obs.epoch_fold_ns.record(fold_span.elapsed_ns());
             drop(fold_span);

@@ -139,8 +139,7 @@ impl Parser<'_> {
                         let mut code = 0u32;
                         for _ in 0..4 {
                             let d = self.next().ok_or("truncated \\u escape")?;
-                            code = code * 16
-                                + (d as char).to_digit(16).ok_or("bad \\u escape")? as u32;
+                            code = code * 16 + (d as char).to_digit(16).ok_or("bad \\u escape")?;
                         }
                         // Surrogates are rejected rather than paired: no
                         // protocol field carries astral-plane text.
@@ -203,9 +202,22 @@ impl Parser<'_> {
 }
 
 /// Incremental writer for one flat JSON object.
-#[derive(Debug, Default)]
+///
+/// The body holds the rendered object including the opening brace, so
+/// [`JsonObj::finish`] only appends the closing brace and hands the buffer
+/// back — no copy. [`JsonObj::reuse`] starts an object inside a recycled
+/// allocation, which is what the TCP front-end does per connection: one
+/// response buffer travels writer → socket → writer for the whole session
+/// instead of a fresh `String` per request turn.
+#[derive(Debug)]
 pub struct JsonObj {
     body: String,
+}
+
+impl Default for JsonObj {
+    fn default() -> Self {
+        Self::reuse(String::new())
+    }
 }
 
 impl JsonObj {
@@ -214,8 +226,15 @@ impl JsonObj {
         Self::default()
     }
 
+    /// Start an empty object inside `buf`'s allocation (contents cleared).
+    pub fn reuse(mut buf: String) -> Self {
+        buf.clear();
+        buf.push('{');
+        JsonObj { body: buf }
+    }
+
     fn key(&mut self, key: &str) {
-        if !self.body.is_empty() {
+        if self.body.len() > 1 {
             self.body.push(',');
         }
         self.body.push('"');
@@ -265,9 +284,22 @@ impl JsonObj {
         self
     }
 
-    /// Render the object.
-    pub fn finish(self) -> String {
-        format!("{{{}}}", self.body)
+    /// Add a JSON fragment written by `render` directly into the object's
+    /// buffer — the zero-copy variant of [`JsonObj::raw`] for fragments
+    /// (like the `top_k` peers array) that would otherwise need their own
+    /// scratch `String` per request.
+    ///
+    /// `render` must write valid JSON; nothing re-validates the fragment.
+    pub fn raw_with(mut self, key: &str, render: impl FnOnce(&mut String)) -> Self {
+        self.key(key);
+        render(&mut self.body);
+        self
+    }
+
+    /// Render the object, returning the (possibly recycled) buffer.
+    pub fn finish(mut self) -> String {
+        self.body.push('}');
+        self.body
     }
 }
 
@@ -352,5 +384,36 @@ mod tests {
     fn non_finite_numbers_become_null() {
         let line = JsonObj::new().num("x", f64::NAN).finish();
         assert_eq!(line, "{\"x\":null}");
+    }
+
+    #[test]
+    fn reuse_recycles_the_allocation_and_renders_identically() {
+        let fresh = JsonObj::new().str("op", "ping").int("k", 3).finish();
+        let mut buf = String::with_capacity(256);
+        buf.push_str("stale contents from the previous turn");
+        let ptr = buf.as_ptr();
+        let recycled = JsonObj::reuse(buf).str("op", "ping").int("k", 3).finish();
+        assert_eq!(recycled, fresh);
+        assert_eq!(recycled.as_ptr(), ptr, "the allocation must be reused");
+        assert_eq!(JsonObj::reuse(recycled).finish(), "{}");
+    }
+
+    #[test]
+    fn raw_with_writes_into_the_object_buffer() {
+        use std::fmt::Write as _;
+        let line = JsonObj::new()
+            .bool("ok", true)
+            .raw_with("peers", |out| {
+                out.push('[');
+                for (i, p) in [1, 2, 3].iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "[{p},0.5]");
+                }
+                out.push(']');
+            })
+            .finish();
+        assert_eq!(line, "{\"ok\":true,\"peers\":[[1,0.5],[2,0.5],[3,0.5]]}");
     }
 }

@@ -105,4 +105,4 @@ pub use service::{
 };
 pub use snapshot::{ScoreSnapshot, SnapshotCell};
 pub use stats::{ServiceStats, StatsReport};
-pub use wal::{Wal, WalReplay};
+pub use wal::{GroupCommitObs, GroupCommitWal, Wal, WalReplay};

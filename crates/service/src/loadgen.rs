@@ -9,13 +9,17 @@
 //! queries with feedback writes, runs epochs in the background, and
 //! reports queries/sec plus p50/p99 latency into `BENCH_service.json`.
 
+use crate::log::FeedbackLog;
 use crate::service::ServiceHandle;
 use crate::stats::StatsReport;
+use crate::wal::Wal;
 use gossiptrust_core::id::NodeId;
 use gossiptrust_obs::{Deadline, HistogramSnapshot, Stopwatch};
 use gossiptrust_workloads::Zipf;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::path::Path;
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// Load-run configuration.
@@ -122,7 +126,7 @@ pub fn run(handle: &ServiceHandle, config: &LoadConfig) -> LoadReport {
 
     while issued < config.queries {
         ops += 1;
-        if config.epoch_every > 0 && ops % config.epoch_every == 0 {
+        if config.epoch_every > 0 && ops.is_multiple_of(config.epoch_every) {
             if let Ok(outcome) = handle.run_epoch_now() {
                 epochs += 1;
                 epoch_wall_ms_total += outcome.wall_ms;
@@ -212,6 +216,242 @@ pub fn run(handle: &ServiceHandle, config: &LoadConfig) -> LoadReport {
     }
 }
 
+/// Pipelined durable-ingest run: `connections` concurrent writers each
+/// submit `batches_per_conn` feedback batches of `batch_size` ratings.
+#[derive(Clone, Debug)]
+pub struct IngestConfig {
+    /// Concurrent writer threads (stand-ins for ingest connections).
+    pub connections: usize,
+    /// Batches each writer submits.
+    pub batches_per_conn: usize,
+    /// Ratings per batch.
+    pub batch_size: usize,
+    /// RNG seed for the rating targets/scores.
+    pub seed: u64,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig { connections: 8, batches_per_conn: 400, batch_size: 16, seed: 1 }
+    }
+}
+
+/// Results of one durable-ingest run (pipelined service path or the
+/// serial mutexed-WAL baseline).
+#[derive(Clone, Debug)]
+pub struct IngestReport {
+    /// Ratings durably ingested.
+    pub events: u64,
+    /// Batches submitted.
+    pub batches: u64,
+    /// Durable-ingest throughput (ratings/sec over the whole run).
+    pub events_per_sec: f64,
+    /// Median per-batch ack latency (microseconds).
+    pub p50_us: f64,
+    /// 99th-percentile per-batch ack latency (microseconds).
+    pub p99_us: f64,
+    /// Batches retried after a retriable shed.
+    pub retries: u64,
+}
+
+/// One writer's deterministic batch: rater striped over the population by
+/// `(conn, batch)` so concurrent writers never share a rater (batches from
+/// one rater must stay ordered, which one thread per rater guarantees).
+fn fill_ingest_batch(
+    rng: &mut StdRng,
+    n: usize,
+    conn: usize,
+    batch: usize,
+    connections: usize,
+    batch_size: usize,
+    ratings: &mut Vec<(NodeId, f64)>,
+) -> NodeId {
+    let rater = NodeId::from_index((conn + batch * connections) % n);
+    ratings.clear();
+    for _ in 0..batch_size {
+        let target = NodeId::from_index(rng.random_range(0..n));
+        ratings.push((target, 1.0 + rng.random::<f64>()));
+    }
+    rater
+}
+
+fn ingest_report(
+    latencies_us: &mut [f64],
+    events: u64,
+    batches: u64,
+    elapsed_s: f64,
+    retries: u64,
+) -> IngestReport {
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let percentile = |p: f64| -> f64 {
+        if latencies_us.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies_us.len() as f64 - 1.0) * p).round() as usize;
+        latencies_us[idx]
+    };
+    IngestReport {
+        events,
+        batches,
+        events_per_sec: if elapsed_s > 0.0 {
+            events as f64 / elapsed_s
+        } else {
+            0.0
+        },
+        p50_us: percentile(0.50),
+        p99_us: percentile(0.99),
+        retries,
+    }
+}
+
+/// Drive the pipelined multi-connection ingest workload against a (WAL-
+/// armed) service handle: every batch rides `ServiceHandle::record_batch`,
+/// so concurrent writers feed the group-commit WAL writer exactly the way
+/// concurrent TCP connections do. Per-batch latency is the submit→ack
+/// wall time one connection observes; throughput counts all writers.
+pub fn run_pipelined_ingest(handle: &ServiceHandle, config: &IngestConfig) -> IngestReport {
+    let n = handle.n();
+    let started = Stopwatch::start();
+    let per_conn: Vec<(Vec<f64>, u64)> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..config.connections)
+            .map(|conn| {
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(
+                        config.seed ^ (conn as u64).wrapping_mul(0x9E37_79B9),
+                    );
+                    let mut ratings = Vec::with_capacity(config.batch_size);
+                    let mut lat = Vec::with_capacity(config.batches_per_conn);
+                    let mut retries = 0u64;
+                    for batch in 0..config.batches_per_conn {
+                        let rater = fill_ingest_batch(
+                            &mut rng,
+                            n,
+                            conn,
+                            batch,
+                            config.connections,
+                            config.batch_size,
+                            &mut ratings,
+                        );
+                        let t0 = Stopwatch::start();
+                        loop {
+                            match handle.record_batch(rater, &ratings) {
+                                Err(e) if e.retriable() => {
+                                    retries += 1;
+                                    std::thread::sleep(Duration::from_micros(50));
+                                }
+                                _ => break,
+                            }
+                        }
+                        lat.push(t0.elapsed().as_secs_f64() * 1e6);
+                    }
+                    (lat, retries)
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("ingest writer"))
+            .collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let batches = (config.connections * config.batches_per_conn) as u64;
+    let events = batches * config.batch_size as u64;
+    let retries = per_conn.iter().map(|(_, r)| r).sum();
+    let mut latencies: Vec<f64> = per_conn.into_iter().flat_map(|(lat, _)| lat).collect();
+    ingest_report(&mut latencies, events, batches, elapsed, retries)
+}
+
+/// The same workload through the pre-group-commit serving path: one
+/// `Mutex<Wal>` shared by all writers, one `write_all` + `flush` per
+/// batch under the lock, then the in-memory log append — a faithful
+/// emulation of what `ServiceHandle::record_batch` did before the writer
+/// thread existed. This is the `baseline_delta` denominator when no
+/// committed `BENCH_service.json` is available to diff against.
+pub fn run_serial_wal_baseline(n: usize, wal_dir: &Path, config: &IngestConfig) -> IngestReport {
+    let (wal, _) = Wal::open(wal_dir, n).expect("open baseline WAL");
+    let wal = Mutex::new(wal);
+    let log = FeedbackLog::new(n, 16.min(n.max(1)));
+    let started = Stopwatch::start();
+    let per_conn: Vec<Vec<f64>> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..config.connections)
+            .map(|conn| {
+                let wal = &wal;
+                let log = &log;
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(
+                        config.seed ^ (conn as u64).wrapping_mul(0x9E37_79B9),
+                    );
+                    let mut ratings = Vec::with_capacity(config.batch_size);
+                    let mut lat = Vec::with_capacity(config.batches_per_conn);
+                    for batch in 0..config.batches_per_conn {
+                        let rater = fill_ingest_batch(
+                            &mut rng,
+                            n,
+                            conn,
+                            batch,
+                            config.connections,
+                            config.batch_size,
+                            &mut ratings,
+                        );
+                        let t0 = Stopwatch::start();
+                        wal.lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .append_batch(rater, &ratings)
+                            .expect("baseline WAL append");
+                        log.record_batch(rater, &ratings);
+                        lat.push(t0.elapsed().as_secs_f64() * 1e6);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("baseline writer"))
+            .collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let batches = (config.connections * config.batches_per_conn) as u64;
+    let events = batches * config.batch_size as u64;
+    let mut latencies: Vec<f64> = per_conn.into_iter().flatten().collect();
+    ingest_report(&mut latencies, events, batches, elapsed, 0)
+}
+
+/// Append the pipelined-ingest section (and its serial-baseline
+/// `baseline_delta`) to the bench document as flat keys. `speedup` > 1
+/// means the group-commit pipeline out-ingests the mutexed baseline;
+/// `p99_delta_pct` < 0 means the pipelined p99 is better.
+pub fn ingest_fields(
+    obj: crate::json::JsonObj,
+    config: &IngestConfig,
+    pipelined: &IngestReport,
+    serial: &IngestReport,
+) -> crate::json::JsonObj {
+    let speedup = if serial.events_per_sec > 0.0 {
+        pipelined.events_per_sec / serial.events_per_sec
+    } else {
+        0.0
+    };
+    let p99_delta_pct = if serial.p99_us > 0.0 {
+        (pipelined.p99_us - serial.p99_us) / serial.p99_us * 100.0
+    } else {
+        0.0
+    };
+    obj.int("ingest_connections", config.connections as u64)
+        .int("ingest_batch_size", config.batch_size as u64)
+        .int("ingest_batches", pipelined.batches)
+        .int("ingest_events", pipelined.events)
+        .int("ingest_retries", pipelined.retries)
+        .num("ingest_events_per_sec", pipelined.events_per_sec)
+        .num("ingest_p50_us", pipelined.p50_us)
+        .num("ingest_p99_us", pipelined.p99_us)
+        .num("serial_ingest_events_per_sec", serial.events_per_sec)
+        .num("serial_ingest_p50_us", serial.p50_us)
+        .num("serial_ingest_p99_us", serial.p99_us)
+        .num("baseline_delta_ingest_speedup", speedup)
+        .num("baseline_delta_ingest_p99_pct", p99_delta_pct)
+}
+
 /// Append one histogram snapshot as flat `hist_<name>_{p50,p90,p99,max}_us`
 /// keys (the snapshot records nanoseconds; the bench file speaks µs like
 /// the sampled percentiles). Flat keys keep the document parseable by
@@ -233,8 +473,21 @@ fn hist_fields(
 /// `cores` is recorded the same way `BENCH_engine.json` does, so the two
 /// benchmark files stay comparable machine-to-machine.
 pub fn report_json(report: &LoadReport, n: usize, cores: usize, quick: bool) -> String {
-    use crate::json::JsonObj;
-    let obj = JsonObj::new()
+    report_fields(crate::json::JsonObj::new(), report, n, cores, quick).finish()
+}
+
+/// The [`report_json`] keys appended to an object under construction —
+/// the composable form the loadgen binary uses to follow the query
+/// section with the pipelined-ingest and `baseline_delta` sections in
+/// one flat document.
+pub fn report_fields(
+    obj: crate::json::JsonObj,
+    report: &LoadReport,
+    n: usize,
+    cores: usize,
+    quick: bool,
+) -> crate::json::JsonObj {
+    let obj = obj
         .str("bench", "service_queries")
         .bool("quick", quick)
         .int("cores", cores as u64)
@@ -258,7 +511,7 @@ pub fn report_json(report: &LoadReport, n: usize, cores: usize, quick: bool) -> 
         .int("conns_timed_out", report.stats.conns_timed_out)
         .int("wal_replayed_records", report.stats.wal_replayed_records);
     let obj = hist_fields(obj, "query", &report.query_hist);
-    hist_fields(obj, "ingest", &report.ingest_hist).finish()
+    hist_fields(obj, "ingest", &report.ingest_hist)
 }
 
 #[cfg(test)]
@@ -302,6 +555,43 @@ mod tests {
         assert!(p50 <= p99 && p99 <= max, "percentiles are ordered: {p50} {p99} {max}");
         assert!(json::get_index(&obj, "hist_ingest_count").expect("ingest count") > 0);
         service.shutdown();
+    }
+
+    #[test]
+    fn pipelined_ingest_is_durable_and_beats_nothing_silently() {
+        let serial = std::process::id();
+        let root = std::env::temp_dir().join(format!("gt-loadgen-test-{serial}"));
+        let _ = std::fs::remove_dir_all(&root);
+        let config = IngestConfig { connections: 3, batches_per_conn: 20, batch_size: 4, seed: 9 };
+        let total = (config.connections * config.batches_per_conn * config.batch_size) as u64;
+
+        let service = ReputationService::start(
+            ServiceConfig::new(12)
+                .with_wal_dir(root.join("piped"))
+                .with_ingest_queue(10_000),
+        );
+        let h = service.handle();
+        let piped = run_pipelined_ingest(&h, &config);
+        assert_eq!(piped.events, total);
+        assert!(piped.events_per_sec > 0.0);
+        assert!(piped.p99_us >= piped.p50_us);
+        assert_eq!(h.events_ingested(), total, "every batch must be applied");
+        service.shutdown();
+        // Every acked rating is durable: a replaying reopen sees them all.
+        let (_, replay) = crate::wal::Wal::open(&root.join("piped"), 12).expect("reopen");
+        assert_eq!(replay.events.len() as u64, total);
+        assert_eq!(replay.truncated_bytes, 0);
+
+        let baseline = run_serial_wal_baseline(12, &root.join("serial"), &config);
+        assert_eq!(baseline.events, total);
+        assert!(baseline.events_per_sec > 0.0);
+
+        // The flat bench keys parse and carry the baseline_delta section.
+        let doc = ingest_fields(json::JsonObj::new(), &config, &piped, &baseline).finish();
+        let obj = json::parse_flat(&doc).expect("ingest json parses");
+        assert_eq!(json::get_index(&obj, "ingest_events"), Some(total as u32));
+        assert!(json::get_num(&obj, "baseline_delta_ingest_speedup").expect("speedup") > 0.0);
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -47,7 +47,16 @@ pub struct ServiceObs {
     /// Whole-epoch wall time, nanoseconds.
     pub epoch_total_ns: Arc<Histogram>,
     /// WAL append + flush (the push-to-OS durability point), nanoseconds.
+    /// With the group-commit writer this is the submit→ack latency one
+    /// ingest observes, queueing included.
     pub wal_fsync_ns: Arc<Histogram>,
+    /// Records coalesced into each WAL group commit (the writer thread's
+    /// batching efficiency: 1 = no coalescing, `GT_WAL_GROUP_MAX` = full
+    /// groups).
+    pub wal_group_records: Arc<Histogram>,
+    /// One coalesced `write_all` + `flush` on the WAL writer thread,
+    /// nanoseconds — the syscall cost each group amortizes.
+    pub wal_commit_ns: Arc<Histogram>,
     /// Backoff retries clients (the load generator) spent on shed
     /// requests.
     pub ingest_retries: Arc<Counter>,
@@ -75,6 +84,8 @@ impl ServiceObs {
             epoch_publish_ns: registry.histogram("gt_epoch_publish_ns"),
             epoch_total_ns: registry.histogram("gt_epoch_total_ns"),
             wal_fsync_ns: registry.histogram("gt_wal_fsync_ns"),
+            wal_group_records: registry.histogram("gt_wal_group_records"),
+            wal_commit_ns: registry.histogram("gt_wal_commit_ns"),
             ingest_retries: registry.counter("gt_ingest_retries_total"),
             engine,
             registry,
@@ -142,6 +153,8 @@ mod tests {
             "gt_epoch_publish_ns",
             "gt_epoch_total_ns",
             "gt_wal_fsync_ns",
+            "gt_wal_group_records",
+            "gt_wal_commit_ns",
             "gt_gossip_step_ns_bucket",
             "gt_gossip_bytes_streamed_total",
             "gt_ingest_retries_total",

@@ -195,6 +195,21 @@ async fn scrape_connection(handle: ServiceHandle, stream: TcpStream) -> io::Resu
     write_half.shutdown().await
 }
 
+/// Per-connection scratch reused across request turns. The read buffer,
+/// the response `String` (threaded through [`JsonObj::reuse`]), the batch
+/// hex-decode bytes and the ratings vector all keep their allocations for
+/// the life of the connection — steady-state request turns allocate only
+/// what the operation itself returns (parsed object, codec frame).
+#[derive(Default)]
+struct ConnBuffers {
+    /// Response line under construction; recycled via `JsonObj::reuse`.
+    out: String,
+    /// Hex-decoded `batch` payload bytes.
+    batch_bytes: Vec<u8>,
+    /// `(target, score)` pairs handed to `ServiceHandle::record_batch`.
+    ratings: Vec<(NodeId, f64)>,
+}
+
 async fn handle_connection(
     handle: ServiceHandle,
     stream: TcpStream,
@@ -203,6 +218,7 @@ async fn handle_connection(
     let (read_half, mut write_half) = stream.into_split();
     let mut reader = BufReader::new(read_half);
     let mut line = Vec::new();
+    let mut bufs = ConnBuffers::default();
     let request_ns = Arc::clone(&handle.obs().request_ns);
     loop {
         let read = tokio::time::timeout(
@@ -230,12 +246,20 @@ async fn handle_connection(
             Ok(Ok(false)) => return Ok(()),
             Ok(Ok(true)) => {}
         }
-        let request = String::from_utf8_lossy(&line).into_owned();
         let sw = Stopwatch::start();
-        let mut response = respond(&handle, &request).await;
+        // Borrow the request straight out of the read buffer — no per-turn
+        // copy of a line that can be megabytes of batch hex.
+        let mut response = match std::str::from_utf8(&line) {
+            Ok(request) => respond(&handle, request, &mut bufs).await,
+            Err(_) => error_into(std::mem::take(&mut bufs.out), "request is not valid UTF-8"),
+        };
         request_ns.record(sw.elapsed_ns());
         response.push('\n');
-        if !write_response(&mut write_half, response.as_bytes(), config.chaos.as_deref()).await? {
+        let deliver =
+            write_response(&mut write_half, response.as_bytes(), config.chaos.as_deref()).await?;
+        // Hand the response allocation back for the next turn.
+        bufs.out = response;
+        if !deliver {
             return Ok(());
         }
     }
@@ -301,7 +325,12 @@ async fn read_capped_line<R: AsyncBufRead + Unpin>(
 }
 
 fn error_line(message: &str) -> String {
-    JsonObj::new().bool("ok", false).str("error", message).finish()
+    error_into(String::new(), message)
+}
+
+/// [`error_line`] into a recycled buffer.
+fn error_into(buf: String, message: &str) -> String {
+    JsonObj::reuse(buf).bool("ok", false).str("error", message).finish()
 }
 
 /// An error line carrying `"retriable": true` — the client should back
@@ -314,27 +343,33 @@ fn retriable_error_line(message: &str) -> String {
         .finish()
 }
 
-fn serve_error(err: &ServeError) -> String {
+fn serve_error(buf: String, err: &ServeError) -> String {
     if err.retriable() {
-        retriable_error_line(&err.to_string())
+        JsonObj::reuse(buf)
+            .bool("ok", false)
+            .bool("retriable", true)
+            .str("error", &err.to_string())
+            .finish()
     } else {
-        error_line(&err.to_string())
+        error_into(buf, &err.to_string())
     }
 }
 
-/// Answer one request line. Pure with respect to the connection: all state
-/// lives behind the handle.
-async fn respond(handle: &ServiceHandle, request: &str) -> String {
+/// Answer one request line into the connection's recycled buffers. Pure
+/// with respect to the connection: all service state lives behind the
+/// handle; `bufs` only carries allocations between turns.
+async fn respond(handle: &ServiceHandle, request: &str, bufs: &mut ConnBuffers) -> String {
+    let out = std::mem::take(&mut bufs.out);
     let trimmed = request.trim();
     if trimmed.is_empty() {
-        return error_line("empty request");
+        return error_into(out, "empty request");
     }
     let obj = match json::parse_flat(trimmed) {
         Ok(obj) => obj,
-        Err(e) => return error_line(&format!("malformed request: {e}")),
+        Err(e) => return error_into(out, &format!("malformed request: {e}")),
     };
     let Some(op) = json::get_str(&obj, "op") else {
-        return error_line("missing \"op\" field");
+        return error_into(out, "missing \"op\" field");
     };
     match op {
         // The epoch runs on the epoch thread; only the wait would block,
@@ -342,7 +377,7 @@ async fn respond(handle: &ServiceHandle, request: &str) -> String {
         "epoch" => {
             let handle = handle.clone();
             match tokio::task::spawn_blocking(move || handle.run_epoch_now()).await {
-                Ok(Ok(outcome)) => JsonObj::new()
+                Ok(Ok(outcome)) => JsonObj::reuse(out)
                     .bool("ok", true)
                     .int("epoch", outcome.epoch)
                     .bool("published", outcome.published)
@@ -350,19 +385,25 @@ async fn respond(handle: &ServiceHandle, request: &str) -> String {
                     .int("cycles", outcome.cycles as u64)
                     .num("wall_ms", outcome.wall_ms)
                     .finish(),
-                Ok(Err(e)) => serve_error(&e),
-                Err(_) => error_line("epoch task failed"),
+                Ok(Err(e)) => serve_error(out, &e),
+                Err(_) => error_into(out, "epoch task failed"),
             }
         }
-        _ => respond_sync(handle, op, &obj),
+        _ => respond_sync(handle, op, &obj, out, bufs),
     }
 }
 
-fn respond_sync(handle: &ServiceHandle, op: &str, obj: &json::FlatObject) -> String {
+fn respond_sync(
+    handle: &ServiceHandle,
+    op: &str,
+    obj: &json::FlatObject,
+    out: String,
+    bufs: &mut ConnBuffers,
+) -> String {
     match op {
         "ping" => {
             let snap = handle.snapshot();
-            JsonObj::new()
+            JsonObj::reuse(out)
                 .bool("ok", true)
                 .int("n", handle.n() as u64)
                 .int("version", snap.version)
@@ -370,25 +411,25 @@ fn respond_sync(handle: &ServiceHandle, op: &str, obj: &json::FlatObject) -> Str
         }
         "score" => {
             let Some(peer) = json::get_index(obj, "peer") else {
-                return error_line("score needs an integer \"peer\"");
+                return error_into(out, "score needs an integer \"peer\"");
             };
             match handle.get_score(NodeId(peer)) {
-                Ok(view) => JsonObj::new()
+                Ok(view) => JsonObj::reuse(out)
                     .bool("ok", true)
                     .int("peer", view.peer.0 as u64)
                     .num("score", view.score)
                     .int("version", view.version)
                     .int("epoch", view.epoch)
                     .finish(),
-                Err(e) => serve_error(&e),
+                Err(e) => serve_error(out, &e),
             }
         }
         "rank" => {
             let Some(peer) = json::get_index(obj, "peer") else {
-                return error_line("rank needs an integer \"peer\"");
+                return error_into(out, "rank needs an integer \"peer\"");
             };
             match handle.rank_of(NodeId(peer)) {
-                Ok(view) => JsonObj::new()
+                Ok(view) => JsonObj::reuse(out)
                     .bool("ok", true)
                     .int("peer", view.peer.0 as u64)
                     .int("exact_rank", view.exact_rank as u64)
@@ -396,37 +437,40 @@ fn respond_sync(handle: &ServiceHandle, op: &str, obj: &json::FlatObject) -> Str
                     .int("levels", view.levels as u64)
                     .int("version", view.version)
                     .finish(),
-                Err(e) => serve_error(&e),
+                Err(e) => serve_error(out, &e),
             }
         }
         "top_k" => {
             let Some(k) = json::get_index(obj, "k") else {
-                return error_line("top_k needs an integer \"k\"");
+                return error_into(out, "top_k needs an integer \"k\"");
             };
             let view = handle.top_k(k as usize);
-            let mut peers = String::from("[");
-            for (i, (id, score)) in view.peers.iter().enumerate() {
-                if i > 0 {
-                    peers.push(',');
-                }
-                let _ = write!(peers, "[{},{}]", id.0, score);
-            }
-            peers.push(']');
-            JsonObj::new()
+            // The peers array renders straight into the response buffer —
+            // no per-request scratch `String`.
+            JsonObj::reuse(out)
                 .bool("ok", true)
                 .int("version", view.version)
-                .raw("peers", &peers)
+                .raw_with("peers", |dst| {
+                    dst.push('[');
+                    for (i, (id, score)) in view.peers.iter().enumerate() {
+                        if i > 0 {
+                            dst.push(',');
+                        }
+                        let _ = write!(dst, "[{},{}]", id.0, score);
+                    }
+                    dst.push(']');
+                })
                 .finish()
         }
         // The full Prometheus exposition, escaped into one JSON string —
         // same text the GT_METRICS_ADDR scrape listener serves.
-        "metrics" => JsonObj::new()
+        "metrics" => JsonObj::reuse(out)
             .bool("ok", true)
             .str("metrics", &handle.metrics_text())
             .finish(),
         "stats" => {
             let report = handle.stats_report();
-            JsonObj::new()
+            JsonObj::reuse(out)
                 .bool("ok", true)
                 .int("epochs_attempted", report.epochs_attempted)
                 .int("epochs_published", report.epochs_published)
@@ -453,40 +497,42 @@ fn respond_sync(handle: &ServiceHandle, op: &str, obj: &json::FlatObject) -> Str
                 json::get_index(obj, "target"),
                 json::get_num(obj, "score"),
             ) else {
-                return error_line(
+                return error_into(
+                    out,
                     "feedback needs integer \"rater\"/\"target\" and numeric \"score\"",
                 );
             };
             match handle.record(NodeId(rater), NodeId(target), score) {
-                Ok(()) => JsonObj::new()
+                Ok(()) => JsonObj::reuse(out)
                     .bool("ok", true)
                     .int("events", handle.events_ingested())
                     .finish(),
-                Err(e) => serve_error(&e),
+                Err(e) => serve_error(out, &e),
             }
         }
         "batch" => {
             let Some(hex) = json::get_str(obj, "data") else {
-                return error_line("batch needs a hex \"data\" field");
+                return error_into(out, "batch needs a hex \"data\" field");
             };
-            let Some(bytes) = hex_decode(hex) else {
-                return error_line("batch data is not valid hex");
+            if !hex_decode_into(hex, &mut bufs.batch_bytes) {
+                return error_into(out, "batch data is not valid hex");
+            }
+            let Some(batch) = FeedbackBatch::decode(&bufs.batch_bytes) else {
+                return error_into(out, "batch data is not a valid FeedbackBatch frame");
             };
-            let Some(batch) = FeedbackBatch::decode(&bytes) else {
-                return error_line("batch data is not a valid FeedbackBatch frame");
-            };
-            let ratings: Vec<(NodeId, f64)> =
-                batch.ratings.iter().map(|&(t, s)| (NodeId(t), s)).collect();
-            match handle.record_batch(NodeId(batch.rater), &ratings) {
-                Ok(()) => JsonObj::new()
+            bufs.ratings.clear();
+            bufs.ratings
+                .extend(batch.ratings.iter().map(|&(t, s)| (NodeId(t), s)));
+            match handle.record_batch(NodeId(batch.rater), &bufs.ratings) {
+                Ok(()) => JsonObj::reuse(out)
                     .bool("ok", true)
-                    .int("accepted", ratings.len() as u64)
+                    .int("accepted", bufs.ratings.len() as u64)
                     .int("events", handle.events_ingested())
                     .finish(),
-                Err(e) => serve_error(&e),
+                Err(e) => serve_error(out, &e),
             }
         }
-        other => error_line(&format!("unknown op {other:?}")),
+        other => error_into(out, &format!("unknown op {other:?}")),
     }
 }
 
@@ -501,18 +547,31 @@ pub fn hex_encode(bytes: &[u8]) -> String {
 
 /// Decode lowercase/uppercase hex; `None` on odd length or non-hex bytes.
 pub fn hex_decode(hex: &str) -> Option<Vec<u8>> {
-    if hex.len() % 2 != 0 {
-        return None;
+    let mut out = Vec::new();
+    if hex_decode_into(hex, &mut out) {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+/// [`hex_decode`] into a recycled buffer (cleared first); `false` on odd
+/// length or non-hex bytes.
+pub fn hex_decode_into(hex: &str, out: &mut Vec<u8>) -> bool {
+    out.clear();
+    if !hex.len().is_multiple_of(2) {
+        return false;
     }
     let digits = hex.as_bytes();
-    let mut out = Vec::with_capacity(digits.len() / 2);
+    out.reserve(digits.len() / 2);
     for pair in digits.chunks_exact(2) {
-        let &[hi, lo] = pair else { return None };
-        let hi = (hi as char).to_digit(16)?;
-        let lo = (lo as char).to_digit(16)?;
+        let &[hi, lo] = pair else { return false };
+        let (Some(hi), Some(lo)) = ((hi as char).to_digit(16), (lo as char).to_digit(16)) else {
+            return false;
+        };
         out.push((hi * 16 + lo) as u8);
     }
-    Some(out)
+    true
 }
 
 #[cfg(test)]

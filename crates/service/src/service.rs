@@ -17,7 +17,7 @@ use crate::log::{FeedbackEvent, FeedbackLog};
 use crate::obs::ServiceObs;
 use crate::snapshot::{ScoreSnapshot, SnapshotCell};
 use crate::stats::{ServiceStats, StatsReport};
-use crate::wal::Wal;
+use crate::wal::{GroupCommitObs, GroupCommitWal, Wal};
 use gossiptrust_core::id::NodeId;
 use gossiptrust_core::params::Params;
 use gossiptrust_obs::Stopwatch;
@@ -25,7 +25,7 @@ use gossiptrust_storage::ranks::RankStorageConfig;
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::mpsc::{self, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -62,6 +62,12 @@ pub struct ServiceConfig {
     /// Capacity of the observability trace ring, in events
     /// (`GT_OBS_EVENTS`).
     pub obs_events: usize,
+    /// Maximum records the WAL writer thread coalesces into one group
+    /// commit (`GT_WAL_GROUP_MAX`).
+    pub wal_group_max: usize,
+    /// Deadline on one WAL group drain, in microseconds
+    /// (`GT_WAL_GROUP_US`); only bites under saturation.
+    pub wal_group_us: u64,
 }
 
 impl ServiceConfig {
@@ -80,6 +86,8 @@ impl ServiceConfig {
             epoch_deadline: None,
             chaos: None,
             obs_events: 4096,
+            wal_group_max: 512,
+            wal_group_us: 200,
         }
     }
 
@@ -124,6 +132,14 @@ impl ServiceConfig {
     /// Builder-style setter for the trace-ring capacity.
     pub fn with_obs_events(mut self, events: usize) -> Self {
         self.obs_events = events;
+        self
+    }
+
+    /// Builder-style setter for the WAL group-commit knobs (max records
+    /// per group, drain deadline in microseconds).
+    pub fn with_wal_group(mut self, group_max: usize, group_us: u64) -> Self {
+        self.wal_group_max = group_max;
+        self.wal_group_us = group_us;
         self
     }
 }
@@ -226,10 +242,13 @@ pub struct ServiceHandle {
     cell: Arc<SnapshotCell>,
     stats: Arc<ServiceStats>,
     commands: Sender<EpochCommand>,
-    /// Crash-recovery WAL; every ingest appends here *before* applying to
-    /// the in-memory log, so a `kill -9` can lose unacknowledged events
-    /// but never acknowledged ones (at-least-once on replay).
-    wal: Option<Arc<Mutex<Wal>>>,
+    /// Crash-recovery WAL behind the group-commit writer thread; every
+    /// ingest submits here and blocks for its group's flush *before*
+    /// applying to the in-memory log, so a `kill -9` can lose
+    /// unacknowledged events but never acknowledged ones (at-least-once on
+    /// replay). Submissions from concurrent connections coalesce into one
+    /// `write_all` + `flush` instead of serializing on a file mutex.
+    wal: Option<Arc<GroupCommitWal>>,
     /// Admission-gate bound on `log.pending_events()`.
     ingest_capacity: u64,
     /// Shared observability bundle — same registry the epoch loop and the
@@ -279,11 +298,8 @@ impl ServiceHandle {
         self.admit()?;
         let event = FeedbackEvent { rater, target, score };
         if let Some(wal) = &self.wal {
-            let mut wal = wal
-                .lock()
-                .map_err(|_| ServeError::Wal("WAL lock poisoned by a prior panic".into()))?;
             let fsync = Stopwatch::start();
-            wal.append(&event).map_err(|e| ServeError::Wal(e.to_string()))?;
+            wal.append(&event).map_err(ServeError::Wal)?;
             self.obs.wal_fsync_ns.record(fsync.elapsed_ns());
             self.stats.note_wal_appended(1);
         }
@@ -302,12 +318,8 @@ impl ServiceHandle {
         }
         self.admit()?;
         if let Some(wal) = &self.wal {
-            let mut wal = wal
-                .lock()
-                .map_err(|_| ServeError::Wal("WAL lock poisoned by a prior panic".into()))?;
             let fsync = Stopwatch::start();
-            wal.append_batch(rater, ratings)
-                .map_err(|e| ServeError::Wal(e.to_string()))?;
+            wal.append_batch(rater, ratings).map_err(ServeError::Wal)?;
             self.obs.wal_fsync_ns.record(fsync.elapsed_ns());
             self.stats.note_wal_appended(ratings.len() as u64);
         }
@@ -452,6 +464,7 @@ impl ReputationService {
             config.rank_config,
         )));
         let stats = Arc::new(ServiceStats::new());
+        let obs = Arc::new(ServiceObs::new(config.obs_events));
         let wal = config.wal_dir.as_ref().map(|dir| {
             let (wal, replay) = Wal::open(dir, n)
                 .unwrap_or_else(|e| panic!("cannot open WAL in {}: {e}", dir.display()));
@@ -462,10 +475,19 @@ impl ReputationService {
                 log.record(*event);
             }
             stats.note_wal_replayed(replay.events.len() as u64);
-            Arc::new(Mutex::new(wal))
+            // Hand the recovered file to the group-commit writer thread;
+            // from here on, ingest submits and the writer owns the fd.
+            Arc::new(GroupCommitWal::start(
+                wal,
+                config.wal_group_max,
+                Duration::from_micros(config.wal_group_us),
+                GroupCommitObs {
+                    group_records: Some(Arc::clone(&obs.wal_group_records)),
+                    commit_ns: Some(Arc::clone(&obs.wal_commit_ns)),
+                },
+            ))
         });
         let chaos = config.chaos.map(|c| Arc::new(ChaosInjector::new(c)));
-        let obs = Arc::new(ServiceObs::new(config.obs_events));
         let mut manager = EpochManager::new(
             Arc::clone(&log),
             Arc::clone(&cell),
@@ -641,6 +663,56 @@ mod tests {
             .enumerate()
             .map(|(i, r)| (i, r.iter_raw().collect()))
             .collect()
+    }
+
+    /// Satellite regression: a writer-thread I/O failure must surface as a
+    /// typed `ServeError::Wal` on the submitting connection, with no ack
+    /// and no in-memory application (applied ⊇ acknowledged holds even
+    /// when the disk dies).
+    #[test]
+    fn wal_write_failure_is_typed_and_applies_nothing() {
+        let dir = scratch_dir("walfail");
+        let (wal, _) = Wal::open(&dir, 6).expect("open");
+        let path = wal.path().to_path_buf();
+        drop(wal);
+        // A read-only fd: every group commit the writer attempts fails.
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .open(&path)
+            .expect("reopen read-only");
+        let doomed = GroupCommitWal::start(
+            Wal::from_file_for_tests(file, path),
+            8,
+            Duration::from_micros(100),
+            GroupCommitObs::default(),
+        );
+        let (commands, _rx) = mpsc::channel();
+        let handle = ServiceHandle {
+            log: Arc::new(FeedbackLog::new(6, 2)),
+            cell: Arc::new(SnapshotCell::new(ScoreSnapshot::bootstrap(
+                6,
+                1,
+                RankStorageConfig::default(),
+            ))),
+            stats: Arc::new(ServiceStats::new()),
+            commands,
+            wal: Some(Arc::new(doomed)),
+            ingest_capacity: 100,
+            obs: Arc::new(ServiceObs::new(64)),
+            chaos: None,
+        };
+        let err = handle
+            .record(NodeId(0), NodeId(1), 1.0)
+            .expect_err("commit must fail");
+        assert!(matches!(err, ServeError::Wal(_)), "failure must be typed: {err:?}");
+        assert!(!err.retriable(), "a WAL failure is not a backpressure signal");
+        let err = handle
+            .record_batch(NodeId(2), &[(NodeId(3), 1.0), (NodeId(4), 2.0)])
+            .expect_err("batch commit must fail");
+        assert!(matches!(err, ServeError::Wal(_)));
+        assert_eq!(handle.events_ingested(), 0, "failed commits must not apply to the log");
+        assert_eq!(handle.stats_report().wal_appended_records, 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -42,9 +42,12 @@
 
 use crate::log::FeedbackEvent;
 use gossiptrust_core::id::NodeId;
+use gossiptrust_obs::{Deadline, Histogram, Stopwatch};
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
 
 /// File header magic (8 bytes): format name + version.
 const MAGIC: [u8; 8] = *b"GTWAL1\0\0";
@@ -175,7 +178,12 @@ impl Wal {
     pub fn open(dir: &Path, n: usize) -> io::Result<(Wal, WalReplay)> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(FILE_NAME);
-        let mut file = OpenOptions::new().read(true).write(true).create(true).open(&path)?;
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes)?;
 
@@ -258,6 +266,234 @@ impl Wal {
     /// Path of the underlying log file.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Wrap an arbitrary file handle as a `Wal` — the hook the write-error
+    /// regression tests use to hand the writer thread a doomed fd.
+    #[cfg(test)]
+    pub(crate) fn from_file_for_tests(file: File, path: PathBuf) -> Wal {
+        Wal { file, path }
+    }
+}
+
+/// One ingest's submission to the writer thread: pre-encoded record bytes
+/// plus the completion slot that is answered only after the group commit
+/// containing these records has flushed (or failed).
+struct Submission {
+    bytes: Vec<u8>,
+    records: u64,
+    ack: mpsc::Sender<Result<(), String>>,
+}
+
+/// Histogram handles the writer thread records into (`None` = unrecorded;
+/// tests and tools run the writer without a registry).
+#[derive(Clone, Debug, Default)]
+pub struct GroupCommitObs {
+    /// Records coalesced per commit (`gt_wal_group_records`).
+    pub group_records: Option<Arc<Histogram>>,
+    /// Coalesced write + flush latency per commit (`gt_wal_commit_ns`).
+    pub commit_ns: Option<Arc<Histogram>>,
+}
+
+/// The group-commit front of a [`Wal`]: one dedicated writer thread owns
+/// the file; ingest threads submit pre-encoded records over an mpsc
+/// channel and block on a completion slot. The writer drains everything
+/// already queued into a single `write_all` + `flush` — up to `group_max`
+/// records or the drain deadline — then completes every ack in the group.
+/// The append-before-ack contract is preserved record for record while
+/// the syscall pair is paid once per group instead of once per ingest,
+/// and ingest threads never contend on a file lock (the old
+/// `Arc<Mutex<Wal>>` handoff).
+///
+/// ## Byte identity
+///
+/// The on-disk layout is byte-identical to sequential [`Wal::append`]
+/// calls in commit order: submissions are concatenated whole, in queue
+/// order, and [`encode_record`] is the only encoder — no group header, no
+/// padding, no reordering inside a submission. Torn-tail replay therefore
+/// works on a group-committed file exactly as on a sequentially written
+/// one.
+///
+/// ## Failure handling
+///
+/// A failed group commit acks *every* submitter in the group with the
+/// error (never success), and the writer rolls the file back to the last
+/// committed record boundary so later groups cannot land after a torn
+/// middle — replay stops at the first bad record, so a record behind a
+/// tear would be silently lost even though it was acked. If the rollback
+/// itself fails the writer poisons: every later submission is refused
+/// outright. Either way the invariant stands: acknowledged records are a
+/// prefix of the durable file.
+#[derive(Debug)]
+pub struct GroupCommitWal {
+    /// `None` after shutdown begins; dropping the sender is what tells the
+    /// writer thread to drain and exit.
+    tx: Option<mpsc::Sender<Submission>>,
+    path: PathBuf,
+    writer: Option<std::thread::JoinHandle<()>>,
+}
+
+impl GroupCommitWal {
+    /// Take ownership of an open `wal` and start the writer thread.
+    ///
+    /// `group_max` caps the records coalesced per commit
+    /// (`GT_WAL_GROUP_MAX`); `group_deadline` bounds how long one drain
+    /// keeps absorbing arrivals under saturation (`GT_WAL_GROUP_US`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the OS refuses to spawn the writer thread — like the
+    /// epoch thread, the service cannot come up without it.
+    pub fn start(
+        wal: Wal,
+        group_max: usize,
+        group_deadline: Duration,
+        obs: GroupCommitObs,
+    ) -> Self {
+        let path = wal.path().to_path_buf();
+        let (tx, rx) = mpsc::channel();
+        let writer = std::thread::Builder::new()
+            .name("gt-wal".into())
+            .spawn(move || writer_loop(wal, rx, group_max.max(1), group_deadline, obs))
+            .expect("spawn WAL writer thread");
+        GroupCommitWal { tx: Some(tx), path, writer: Some(writer) }
+    }
+
+    /// Path of the underlying log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Encode + submit one event and block until its group commits.
+    pub fn append(&self, event: &FeedbackEvent) -> Result<(), String> {
+        self.submit(encode_record(event).to_vec(), 1)
+    }
+
+    /// Encode + submit one rater's batch as a single contiguous submission
+    /// (a batch is never split across groups) and block until the group
+    /// containing it commits.
+    pub fn append_batch(&self, rater: NodeId, ratings: &[(NodeId, f64)]) -> Result<(), String> {
+        let mut bytes = Vec::with_capacity(ratings.len().saturating_mul(RECORD_LEN));
+        for &(target, score) in ratings {
+            bytes.extend_from_slice(&encode_record(&FeedbackEvent { rater, target, score }));
+        }
+        self.submit(bytes, ratings.len() as u64)
+    }
+
+    fn submit(&self, bytes: Vec<u8>, records: u64) -> Result<(), String> {
+        let Some(tx) = self.tx.as_ref() else {
+            return Err("WAL writer is shut down".into());
+        };
+        let (ack_tx, ack_rx) = mpsc::channel();
+        tx.send(Submission { bytes, records, ack: ack_tx })
+            .map_err(|_| "WAL writer thread exited".to_string())?;
+        match ack_rx.recv() {
+            Ok(result) => result,
+            // The writer died between accepting the submission and acking:
+            // the records may or may not be durable, and the only honest
+            // answer is failure (no ack without a committed group).
+            Err(_) => Err("WAL writer thread exited before the group committed".to_string()),
+        }
+    }
+}
+
+impl Drop for GroupCommitWal {
+    fn drop(&mut self) {
+        // Disconnect the queue first so the writer commits what is still
+        // pending and exits, then join it — in-flight submissions are
+        // flushed (and acked) before the file closes.
+        self.tx = None;
+        if let Some(writer) = self.writer.take() {
+            let _ = writer.join();
+        }
+    }
+}
+
+/// The writer-thread body: block for the first submission, drain the rest
+/// of the queue into one buffer, commit with a single `write_all` +
+/// `flush`, ack the whole group.
+fn writer_loop(
+    mut wal: Wal,
+    rx: mpsc::Receiver<Submission>,
+    group_max: usize,
+    group_deadline: Duration,
+    obs: GroupCommitObs,
+) {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut acks: Vec<mpsc::Sender<Result<(), String>>> = Vec::new();
+    // Byte offset of the last committed record boundary — where a failed
+    // commit rolls the file back to.
+    let mut committed_end: u64 = 0;
+    let mut poisoned: Option<String> = match wal.file.stream_position() {
+        Ok(pos) => {
+            committed_end = pos;
+            None
+        }
+        Err(e) => Some(format!("WAL position unknown: {e}")),
+    };
+
+    while let Ok(first) = rx.recv() {
+        if let Some(msg) = &poisoned {
+            let _ = first.ack.send(Err(msg.clone()));
+            continue;
+        }
+        buf.clear();
+        acks.clear();
+        let mut records = first.records;
+        buf.extend_from_slice(&first.bytes);
+        acks.push(first.ack);
+        // Adaptive batch: absorb whatever is already queued — an empty
+        // queue commits immediately (no added latency at low load), a
+        // saturated queue commits at `group_max` records or the drain
+        // deadline so the earliest submitter's ack is never starved.
+        let deadline = Deadline::after(group_deadline);
+        while (records as usize) < group_max && !deadline.expired() {
+            match rx.try_recv() {
+                Ok(sub) => {
+                    records += sub.records;
+                    buf.extend_from_slice(&sub.bytes);
+                    acks.push(sub.ack);
+                }
+                // Empty or disconnected: the queue has drained, commit now.
+                Err(_) => break,
+            }
+        }
+
+        let sw = Stopwatch::start();
+        let result = wal
+            .file
+            .write_all(&buf)
+            .and_then(|()| wal.file.flush())
+            .map_err(|e| e.to_string());
+        if let Some(h) = &obs.commit_ns {
+            h.record(sw.elapsed_ns());
+        }
+        if let Some(h) = &obs.group_records {
+            h.record(records);
+        }
+        match &result {
+            Ok(()) => committed_end += buf.len() as u64,
+            Err(msg) => {
+                // Roll back to the last committed boundary so a later
+                // (successful) group cannot land behind a torn middle;
+                // replay stops at the first bad record, so that would lose
+                // acked records. An unrecoverable file poisons the writer.
+                let rolled_back = wal
+                    .file
+                    .set_len(committed_end)
+                    .and_then(|()| wal.file.seek(SeekFrom::Start(committed_end)).map(|_| ()))
+                    .is_ok();
+                if !rolled_back {
+                    poisoned = Some(format!("WAL unrecoverable after failed group commit: {msg}"));
+                }
+            }
+        }
+        // Ack only after the flush (or the rollback): every record in the
+        // group is durable, or every submitter hears the same failure — a
+        // failed group commit never acks success to anyone.
+        for ack in &acks {
+            let _ = ack.send(result.clone());
+        }
     }
 }
 
@@ -436,5 +672,227 @@ mod tests {
             }
             std::fs::remove_dir_all(&dir).expect("cleanup");
         }
+
+        /// Group commit is byte-identical to sequential appends: whatever
+        /// order the writer drains concurrent submissions in, the file it
+        /// leaves behind equals a plain `Wal` appending the replayed event
+        /// sequence one record at a time — no group framing, no padding,
+        /// no reordering inside a batch.
+        #[test]
+        fn group_commit_file_is_byte_identical_to_sequential_appends(
+            per_rater in proptest::collection::vec(
+                proptest::collection::vec((0u32..24, -1e6f64..1e6), 1..8),
+                1..6,
+            ),
+            group_max in 1usize..32,
+            group_us in 1u64..500,
+        ) {
+            check_group_matches_sequential(&per_rater, group_max, group_us);
+        }
+
+        /// A tail torn mid-group replays the longest valid record prefix —
+        /// exactly as for sequentially appended files — and the log keeps
+        /// accepting group commits after recovery.
+        #[test]
+        fn torn_tail_mid_group_replays_longest_valid_prefix(
+            batches in proptest::collection::vec(
+                proptest::collection::vec((0u32..16, -1e3f64..1e3), 1..5),
+                1..5,
+            ),
+            cut in 1usize..=3 * RECORD_LEN,
+        ) {
+            check_torn_tail_mid_group(&batches, cut);
+        }
+    }
+
+    /// Shared body for the byte-identity property: drive `per_rater`
+    /// batches through a concurrent [`GroupCommitWal`], then assert the
+    /// resulting file equals a plain sequential `Wal` replaying the same
+    /// event order, and that every batch stayed contiguous.
+    fn check_group_matches_sequential(
+        per_rater: &[Vec<(u32, f64)>],
+        group_max: usize,
+        group_us: u64,
+    ) {
+        let dir = scratch_dir("group-prop");
+        let (wal, _) = Wal::open(&dir, 24).expect("open");
+        let group = std::sync::Arc::new(GroupCommitWal::start(
+            wal,
+            group_max,
+            Duration::from_micros(group_us),
+            GroupCommitObs::default(),
+        ));
+        let path = group.path().to_path_buf();
+        // One submitting thread per rater: batches from different raters
+        // interleave however the queue happens to order them, batches
+        // from one rater stay in that rater's program order.
+        let total: usize = per_rater.iter().map(|b| b.len()).sum();
+        std::thread::scope(|scope| {
+            for (r, ratings) in per_rater.iter().enumerate() {
+                let group = std::sync::Arc::clone(&group);
+                scope.spawn(move || {
+                    let ratings: Vec<(NodeId, f64)> =
+                        ratings.iter().map(|&(t, s)| (NodeId(t), s)).collect();
+                    group.append_batch(NodeId(r as u32), &ratings).expect("commit");
+                });
+            }
+        });
+        drop(group);
+
+        // Replay the group-committed file, then re-write the replayed
+        // sequence through sequential appends: bytes must match.
+        let grouped_bytes = std::fs::read(&path).expect("read grouped");
+        let (_, replay) = Wal::open(&dir, 24).expect("replay grouped");
+        assert_eq!(replay.truncated_bytes, 0, "group commit must not tear");
+        assert_eq!(replay.events.len(), total, "every acked record is durable");
+        let seq_dir = scratch_dir("group-prop-seq");
+        let (mut seq, _) = Wal::open(&seq_dir, 24).expect("open sequential");
+        for e in &replay.events {
+            seq.append(e).expect("sequential append");
+        }
+        let seq_path = seq.path().to_path_buf();
+        drop(seq);
+        let seq_bytes = std::fs::read(&seq_path).expect("read sequential");
+        assert_eq!(grouped_bytes, seq_bytes, "on-disk layout must be byte-identical");
+
+        // Each rater's batch stayed contiguous and in order: its records
+        // appear as one uninterrupted run.
+        for (r, ratings) in per_rater.iter().enumerate() {
+            let mine = replay.events.iter().filter(|e| e.rater.index() == r).count();
+            assert_eq!(mine, ratings.len());
+            let first = replay
+                .events
+                .iter()
+                .position(|e| e.rater.index() == r)
+                .expect("batch present");
+            for (k, &(t, s)) in ratings.iter().enumerate() {
+                let e = &replay.events[first + k];
+                assert_eq!(e.rater.index(), r, "batch must stay contiguous");
+                assert_eq!(e.target.0, t);
+                assert_eq!(e.score.to_bits(), s.to_bits());
+            }
+        }
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+        std::fs::remove_dir_all(&seq_dir).expect("cleanup seq");
+    }
+
+    /// Shared body for the torn-tail property: group-commit `batches`,
+    /// chop `cut` bytes off the tail, and assert recovery keeps exactly
+    /// the whole-record prefix and accepts further group commits.
+    fn check_torn_tail_mid_group(batches: &[Vec<(u32, f64)>], cut: usize) {
+        let dir = scratch_dir("group-torn");
+        let (wal, _) = Wal::open(&dir, 16).expect("open");
+        let group =
+            GroupCommitWal::start(wal, 8, Duration::from_micros(100), GroupCommitObs::default());
+        for (r, ratings) in batches.iter().enumerate() {
+            let ratings: Vec<(NodeId, f64)> =
+                ratings.iter().map(|&(t, s)| (NodeId(t), s)).collect();
+            group.append_batch(NodeId(r as u32), &ratings).expect("commit");
+        }
+        let path = group.path().to_path_buf();
+        drop(group);
+
+        let bytes = std::fs::read(&path).expect("read");
+        let cut = cut.min(bytes.len() - HEADER_LEN as usize);
+        std::fs::write(&path, &bytes[..bytes.len() - cut]).expect("tear");
+        let (wal, replay) = Wal::open(&dir, 16).expect("recover");
+        let whole = (bytes.len() - HEADER_LEN as usize - cut) / RECORD_LEN;
+        assert_eq!(replay.events.len(), whole, "longest valid prefix");
+
+        // Recovery hands the file back to a fresh group writer and
+        // appends land cleanly after the truncation point.
+        let group =
+            GroupCommitWal::start(wal, 8, Duration::from_micros(100), GroupCommitObs::default());
+        group.append(&ev(3, 4, 5.0)).expect("append after recovery");
+        drop(group);
+        let (_, replay) = Wal::open(&dir, 16).expect("reopen");
+        assert_eq!(replay.events.len(), whole + 1);
+        assert_eq!(replay.truncated_bytes, 0);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    /// The byte-identity property pinned on fixed scenarios, so the
+    /// contract is exercised even when the proptest harness is absent
+    /// (the offline build swallows `proptest!` bodies). Covers: single
+    /// submitter, many submitters with group_max forcing splits, and a
+    /// deadline short enough that most groups are singletons.
+    #[test]
+    fn group_commit_matches_sequential_fixed_scenarios() {
+        let heavy: Vec<Vec<(u32, f64)>> = (0..5u32)
+            .map(|r| {
+                (0..6u32)
+                    .map(|k| (k % 24, f64::from(r * 10 + k) * 0.5 - 7.0))
+                    .collect()
+            })
+            .collect();
+        check_group_matches_sequential(&heavy, 4, 200);
+        check_group_matches_sequential(&heavy, 1, 50);
+        check_group_matches_sequential(&[vec![(3, 1.5), (9, -2.25)]], 32, 500);
+    }
+
+    /// The torn-tail property pinned on fixed cuts: mid-record, exactly
+    /// one record, and deeper than one group.
+    #[test]
+    fn torn_tail_mid_group_fixed_scenarios() {
+        let batches: Vec<Vec<(u32, f64)>> = vec![
+            vec![(1, 0.5), (2, 1.5), (3, -0.5)],
+            vec![(4, 9.0)],
+            vec![(5, 2.0), (6, 3.0)],
+        ];
+        check_torn_tail_mid_group(&batches, 7);
+        check_torn_tail_mid_group(&batches, RECORD_LEN);
+        check_torn_tail_mid_group(&batches, 2 * RECORD_LEN + 11);
+    }
+
+    #[test]
+    fn group_commit_failure_acks_error_to_every_submitter() {
+        // A writer over a read-only fd: every group commit fails. Each
+        // submitter must hear the error (no silent ack, no success).
+        let dir = scratch_dir("group-fail");
+        let (wal, _) = Wal::open(&dir, 8).expect("open");
+        let path = wal.path().to_path_buf();
+        drop(wal);
+        let file = OpenOptions::new().read(true).open(&path).expect("reopen read-only");
+        let group = std::sync::Arc::new(GroupCommitWal::start(
+            Wal::from_file_for_tests(file, path.clone()),
+            8,
+            Duration::from_micros(100),
+            GroupCommitObs::default(),
+        ));
+        let errors: Vec<String> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|r| {
+                    let group = std::sync::Arc::clone(&group);
+                    scope.spawn(move || {
+                        group
+                            .append_batch(NodeId(r), &[(NodeId(0), 1.0)])
+                            .expect_err("read-only fd must fail the commit")
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("submitter")).collect()
+        });
+        assert_eq!(errors.len(), 4);
+        drop(group);
+        // Nothing was acked, and indeed nothing is durable.
+        let (_, replay) = Wal::open(&dir, 8).expect("reopen");
+        assert!(replay.events.is_empty(), "failed commits must leave no records");
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn group_commit_shutdown_flushes_pending_submissions() {
+        let dir = scratch_dir("group-drain");
+        let (wal, _) = Wal::open(&dir, 8).expect("open");
+        let group =
+            GroupCommitWal::start(wal, 64, Duration::from_micros(500), GroupCommitObs::default());
+        for i in 0..20u32 {
+            group.append(&ev(i % 8, (i + 1) % 8, i as f64)).expect("commit");
+        }
+        drop(group); // joins the writer; everything acked is on disk
+        let (_, replay) = Wal::open(&dir, 8).expect("reopen");
+        assert_eq!(replay.events.len(), 20);
+        assert_eq!(replay.truncated_bytes, 0);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 }

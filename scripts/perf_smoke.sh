@@ -25,6 +25,9 @@ GT_BENCH_QUICK=1 cargo run --release -p gossiptrust-bench --bin bench_summary
 # hooks cost more than their 2% budget. Writes BENCH_obs.json.
 GT_BENCH_QUICK=1 cargo run --release -p gossiptrust-bench --bin obs_overhead
 
-# Metrics dump: the loadgen bin leaves METRICS_service.prom (the full
-# Prometheus exposition of its run) next to BENCH_service.json.
+# Service pass: the loadgen bin replays the Zipf query mix, then runs the
+# pipelined durable-ingest benchmark (concurrent writers through the
+# group-commit WAL vs the serial mutexed-WAL baseline) and writes
+# BENCH_service.json with the `baseline_delta_ingest_speedup` field plus
+# METRICS_service.prom (the full Prometheus exposition of the query run).
 GT_BENCH_QUICK=1 cargo run --release -p gossiptrust-serve --bin loadgen

@@ -54,6 +54,13 @@ step cargo test -q -p gossiptrust-core --features invariants
 step cargo test -q -p gossiptrust-gossip --features invariants
 step cargo test -q -p gossiptrust-serve --features invariants
 
+# WAL shard: the group-commit pipeline's own tests — byte-identity vs
+# sequential appends under concurrent submitters, torn-tail-mid-group
+# recovery, failed-commit error fan-out, shutdown drain — run as a named
+# shard so a WAL regression is visible at a glance, not buried in the
+# per-crate loop above.
+step cargo test -q -p gossiptrust-serve --lib wal::
+
 # Observability shard: the mid-epoch scrape integration test (metrics
 # verb + HTTP listener under live load) and the <2% engine-hook
 # overhead proof (obs_overhead exits nonzero over budget).
